@@ -1,0 +1,204 @@
+"""Ablations A1-A3 (DESIGN.md §4) — design choices the paper discusses.
+
+A1  Marking strategies (§6 "Variants"): uniform (StackMR) vs greedy
+    (StackGreedyMR) vs weight-proportional (the variant the paper
+    tried and dismissed).  Expectation: greedy >= weighted >= uniform
+    in value on average.
+A2  ε sensitivity of StackMR: larger ε means fewer, fatter layers
+    (fewer MR jobs) but looser capacity slack; smaller ε the reverse.
+A3  Worst cases: the ascending path that forces GreedyMR through a
+    linear number of rounds (§5.4), and the Appendix-A triangle where
+    greedy's ½-guarantee is tight.
+A4  Algorithm 1 vs Algorithm 2: the paper evaluates only the
+    (1+ε)-violating Algorithm 2 ("we do not include an evaluation of
+    [Algorithm 1] as it does not seem to be efficient"); we quantify
+    what its strict feasibility costs in matching value.
+"""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments import ascii_table, banner, bench_scale, bench_seed
+from repro.graph import ascending_path, greedy_tightness_triangle
+from repro.matching import (
+    bruteforce_b_matching,
+    greedy_b_matching,
+    greedy_mr_b_matching,
+    stack_b_matching,
+    stack_mr_b_matching,
+)
+
+from .conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def flickr_graph():
+    dataset = load_dataset(
+        "flickr-small", seed=bench_seed(), scale=0.2 * bench_scale()
+    )
+    sigma = dataset.sigma_for_edge_count(
+        len(dataset.edges(1.0)) // 5, 1.0
+    )
+    return dataset.graph(sigma=sigma, alpha=2.0)
+
+
+def test_a1_marking_strategies(benchmark, report, flickr_graph):
+    def run():
+        rows = []
+        for strategy in ("uniform", "greedy", "weighted"):
+            result = stack_mr_b_matching(
+                flickr_graph, epsilon=1.0, seed=3, strategy=strategy
+            )
+            rows.append(
+                [
+                    strategy,
+                    result.algorithm,
+                    round(result.value, 1),
+                    result.mr_jobs,
+                    result.layers,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    report(
+        banner("Ablation A1 — maximal-matching marking strategies")
+        + "\n"
+        + ascii_table(
+            ["strategy", "algorithm", "value", "mr_jobs", "layers"],
+            rows,
+        )
+        + "\npaper: StackGreedyMR slightly better than StackMR; the "
+        "weight-proportional variant always worse than StackGreedyMR."
+    )
+    values = {row[0]: row[2] for row in rows}
+    # §6: biasing the marking towards heavy edges helps.
+    assert values["greedy"] >= values["uniform"] * 0.98
+
+
+def test_a2_epsilon_sensitivity(benchmark, report, flickr_graph):
+    def run():
+        rows = []
+        for epsilon in (0.25, 0.5, 1.0, 2.0):
+            result = stack_mr_b_matching(
+                flickr_graph, epsilon=epsilon, seed=3
+            )
+            violations = result.violations(flickr_graph.capacities())
+            rows.append(
+                [
+                    epsilon,
+                    round(result.value, 1),
+                    result.mr_jobs,
+                    result.layers,
+                    round(violations.average_violation, 5),
+                    round(violations.max_violation_ratio, 3),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    report(
+        banner("Ablation A2 — StackMR ε sensitivity")
+        + "\n"
+        + ascii_table(
+            [
+                "epsilon",
+                "value",
+                "mr_jobs",
+                "layers",
+                "avg_violation",
+                "max_violation",
+            ],
+            rows,
+        )
+        + "\nexpected: fewer layers/jobs as ε grows; violations bounded "
+        "by the (1+ε) guarantee throughout."
+    )
+    # layers (and thus pop jobs) shrink as ε grows
+    assert rows[0][3] >= rows[-1][3]
+    # guarantee: avg violation can never exceed ε
+    for epsilon, _, _, _, avg_violation, _ in rows:
+        assert avg_violation <= epsilon
+
+
+def test_a3_greedymr_linear_worst_case(benchmark, report):
+    sizes = (64, 128, 256)
+
+    def run():
+        rows = []
+        for size in sizes:
+            result = greedy_mr_b_matching(ascending_path(size))
+            rows.append([size, result.rounds, round(result.value, 1)])
+        return rows
+
+    rows = run_once(benchmark, run)
+    report(
+        banner("Ablation A3a — GreedyMR on the ascending path (§5.4)")
+        + "\n"
+        + ascii_table(["path nodes", "rounds", "value"], rows)
+        + "\nexpected: rounds grow linearly with the path length."
+    )
+    # linear growth: doubling nodes ~doubles rounds
+    assert rows[1][1] >= 1.7 * rows[0][1]
+    assert rows[2][1] >= 1.7 * rows[1][1]
+
+
+def test_a4_feasible_stack_vs_violating_stack(
+    benchmark, report, flickr_graph
+):
+    def run():
+        rows = []
+        for feasible in (False, True):
+            result = stack_b_matching(
+                flickr_graph, epsilon=1.0, seed=3, feasible=feasible
+            )
+            violations = result.violations(flickr_graph.capacities())
+            rows.append(
+                [
+                    result.algorithm,
+                    round(result.value, 1),
+                    len(result.matching),
+                    round(violations.average_violation, 5),
+                    violations.feasible,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    report(
+        banner(
+            "Ablation A4 — Algorithm 1 (feasible) vs Algorithm 2 "
+            "(1+ε violations)"
+        )
+        + "\n"
+        + ascii_table(
+            ["algorithm", "value", "edges", "avg_violation", "feasible"],
+            rows,
+        )
+        + "\npaper: only Algorithm 2 is evaluated; Algorithm 1 trades "
+        "a little value (overflow edges re-inserted via dominance "
+        "sublayers) for exact feasibility."
+    )
+    violating, feasible = rows
+    assert feasible[4] is True  # Algorithm 1 never violates
+    # The repair keeps it competitive: within 25% of Algorithm 2.
+    assert feasible[1] >= 0.75 * violating[1]
+
+
+def test_a3_greedy_tightness_triangle(benchmark, report):
+    def run():
+        epsilon = 0.05
+        graph = greedy_tightness_triangle(epsilon)
+        greedy = greedy_b_matching(graph)
+        optimum = bruteforce_b_matching(graph)
+        return epsilon, greedy.value, optimum.value
+
+    epsilon, greedy_value, optimum_value = run_once(benchmark, run)
+    ratio = greedy_value / optimum_value
+    report(
+        banner("Ablation A3b — Appendix A tightness instance")
+        + f"\ngreedy={greedy_value:.3f} optimum={optimum_value:.3f} "
+        f"ratio={ratio:.4f} (theory: (1+ε)/2 = {(1 + epsilon) / 2:.4f})"
+    )
+    assert ratio == pytest.approx((1 + epsilon) / 2)
+    assert ratio >= 0.5

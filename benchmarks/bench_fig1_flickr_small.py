@@ -1,0 +1,41 @@
+"""Figure 1 — flickr-small: matching value and iterations vs #edges.
+
+Sweeps the similarity threshold σ (x-axis: resulting number of edges)
+for GreedyMR, StackMR, and StackGreedyMR at ε=1 and two α settings,
+printing the value series and MapReduce-iteration series the paper
+plots, plus the §6 shape checks (GreedyMR wins on value by ~11% here;
+on this small dataset the stack algorithms pay their maximal-matching
+overhead in iterations).
+"""
+
+from repro.experiments import value_iterations_experiment
+
+from .conftest import run_once
+
+
+def test_fig1_flickr_small_value_and_iterations(benchmark, report):
+    outcome, text = run_once(
+        benchmark, lambda: value_iterations_experiment("fig1")
+    )
+    report(text)
+    rows = outcome.rows
+    assert rows
+    greedy = {
+        (r.sigma, r.alpha): r.value
+        for r in rows
+        if r.algorithm == "GreedyMR"
+    }
+    stack = {
+        (r.sigma, r.alpha): r.value
+        for r in rows
+        if r.algorithm == "StackMR"
+    }
+    # §6 quality: GreedyMR at least matches StackMR in every cell.
+    for cell, value in stack.items():
+        assert greedy[cell] >= value * 0.999
+    # Violations stay within the (1+ε) guarantee and are small.
+    for row in rows:
+        if row.algorithm.startswith("Stack"):
+            assert row.avg_violation <= 0.10
+        else:
+            assert row.feasible

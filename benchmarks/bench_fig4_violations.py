@@ -1,0 +1,32 @@
+"""Figure 4 — StackMR capacity violations (average ε′).
+
+Sweeps σ and α at ε=1 on the capacity-skewed flickr-large stand-in and
+reports the paper's ε′ statistic.  Expected shapes: violations are at
+most a few percent, grow as more edges participate (lower σ) and as
+capacities grow (higher α); a second ε sweep (ablation) shows the
+tradeoff knob.
+"""
+
+from repro.experiments import violations_experiment
+
+from .conftest import run_once
+
+
+def test_fig4_stackmr_capacity_violations(benchmark, report):
+    outcomes, text = run_once(
+        benchmark, lambda: violations_experiment(epsilons=(1.0,))
+    )
+    report(text)
+    rows = outcomes[0].rows
+    assert rows
+    # Theorem-1 regime: small average violations at ε=1 (paper: <= 6%).
+    for row in rows:
+        assert row.avg_violation <= 0.10
+    # Shape: violations (weakly) grow when σ falls, per α series.
+    for alpha in {row.alpha for row in rows}:
+        series = sorted(
+            (r for r in rows if r.alpha == alpha),
+            key=lambda r: r.num_edges,
+        )
+        # compare the sparsest cell against the densest cell
+        assert series[-1].avg_violation >= series[0].avg_violation - 1e-9

@@ -1,0 +1,31 @@
+"""Figure 6 — the distribution of edge similarities.
+
+Prints log-binned histograms and tail statistics of the candidate-edge
+similarity distribution of each dataset.  Expected shape (as plotted by
+the paper): heavy-tailed — the overwhelming majority of candidate edges
+carry low weight, with a long high-similarity tail.
+"""
+
+from repro.experiments import similarity_distribution_experiment
+
+from .conftest import run_once
+
+
+def test_fig6_edge_similarity_distributions(benchmark, report):
+    data, text = run_once(
+        benchmark, lambda: similarity_distribution_experiment()
+    )
+    report(text)
+    assert set(data) == {
+        "flickr-small",
+        "flickr-large",
+        "yahoo-answers",
+    }
+    for name, entry in data.items():
+        summary = entry["summary"]
+        histogram = entry["histogram"]
+        assert histogram.count > 1000, name
+        # heavy tail: the max dwarfs the median and the top 1% of
+        # edges holds a disproportionate share of total similarity.
+        assert summary["max"] >= 5 * summary["p50"], name
+        assert summary["top1_share"] >= 0.02, name

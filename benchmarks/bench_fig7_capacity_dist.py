@@ -1,0 +1,28 @@
+"""Figure 7 — the distribution of capacities.
+
+Prints capacity distributions per dataset under the §4/§6 formulas.
+Expected shapes: heavy-tailed consumer capacities everywhere (power-law
+activity × α); heavy-tailed flickr item capacities (favorites), with
+flickr-large markedly more skewed than flickr-small (the paper's
+explanation for its violation/quality anomalies); constant question
+capacities on yahoo-answers.
+"""
+
+from repro.experiments import capacity_distribution_experiment
+
+from .conftest import run_once
+
+
+def test_fig7_capacity_distributions(benchmark, report):
+    data, text = run_once(
+        benchmark, lambda: capacity_distribution_experiment()
+    )
+    report(text)
+    ya_items = data["yahoo-answers"]["items"]["summary"]
+    assert ya_items["min"] == ya_items["max"]  # constant b(q)
+    small = data["flickr-small"]["items"]["summary"]
+    large = data["flickr-large"]["items"]["summary"]
+    assert large["top1_share"] > small["top1_share"]  # skew ordering
+    for name in data:
+        consumers = data[name]["consumers"]["summary"]
+        assert consumers["max"] > consumers["p50"]  # heavy tail

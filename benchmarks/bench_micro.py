@@ -1,0 +1,117 @@
+"""Micro-benchmarks of the substrate components.
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the building blocks: the MapReduce shuffle, the three similarity-join
+engines, the maximal-matching engine, and the centralized solvers.
+They track the performance of the simulator itself rather than a paper
+figure.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.graph import random_bipartite
+from repro.mapreduce import MapReduceJob, MapReduceRuntime
+from repro.matching import (
+    greedy_b_matching,
+    maximal_b_matching,
+    stack_b_matching,
+    suitor_b_matching,
+)
+from repro.simjoin import (
+    exact_similarity_join,
+    mapreduce_similarity_join,
+    scipy_similarity_join,
+)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    dataset = load_dataset("flickr-small", seed=1, scale=0.1)
+    return dataset.items, dataset.consumers
+
+
+@pytest.fixture(scope="module")
+def mid_graph():
+    return random_bipartite(
+        120, 80, 0.08, rng=random.Random(5), max_capacity=4
+    )
+
+
+class _WordCount(MapReduceJob):
+    has_combiner = True
+
+    def map(self, key, line):
+        for word in line.split():
+            yield word, 1
+
+    def combine(self, word, counts):
+        yield word, sum(counts)
+
+    def reduce(self, word, counts):
+        yield word, sum(counts)
+
+
+def test_runtime_shuffle_wordcount(benchmark):
+    rng = random.Random(0)
+    words = [f"w{rng.randint(0, 500)}" for _ in range(5000)]
+    records = [
+        (i, " ".join(words[i : i + 10])) for i in range(0, 5000, 10)
+    ]
+    runtime = MapReduceRuntime()
+    result = benchmark(lambda: runtime.run(_WordCount(), records))
+    assert result
+
+
+def test_simjoin_exact(benchmark, vectors):
+    items, consumers = vectors
+    rows = benchmark(lambda: exact_similarity_join(items, consumers, 2.0))
+    assert rows
+
+
+def test_simjoin_scipy(benchmark, vectors):
+    items, consumers = vectors
+    rows = benchmark(lambda: scipy_similarity_join(items, consumers, 2.0))
+    assert rows
+
+
+def test_simjoin_mapreduce(benchmark, vectors):
+    items, consumers = vectors
+    rows = benchmark.pedantic(
+        lambda: mapreduce_similarity_join(items, consumers, 2.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+
+
+def test_maximal_matching_centralized(benchmark, mid_graph):
+    result = benchmark(
+        lambda: maximal_b_matching(mid_graph, rng=random.Random(1))
+    )
+    assert result
+
+
+def test_greedy_centralized(benchmark, mid_graph):
+    result = benchmark(lambda: greedy_b_matching(mid_graph))
+    assert result.value > 0
+
+
+def test_suitor_centralized(benchmark, mid_graph):
+    result = benchmark(lambda: suitor_b_matching(mid_graph))
+    # b-Suitor must reproduce the greedy matching (same edge set; the
+    # float totals may differ in the last ulp from summation order)
+    assert set(result.matching) == set(
+        greedy_b_matching(mid_graph).matching
+    )
+
+
+def test_stack_centralized(benchmark, mid_graph):
+    result = benchmark.pedantic(
+        lambda: stack_b_matching(mid_graph, epsilon=1.0, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.value > 0

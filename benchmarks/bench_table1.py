@@ -1,0 +1,22 @@
+"""Table 1 — dataset characteristics (|T|, |C|, |E|).
+
+Regenerates the paper's Table 1 on the synthetic stand-ins: builds all
+three datasets and counts the candidate edges produced by the
+similarity join at each dataset's floor threshold.
+"""
+
+from repro.experiments import table1_experiment
+
+from .conftest import run_once
+
+
+def test_table1_dataset_characteristics(benchmark, report):
+    rows, text = run_once(benchmark, lambda: table1_experiment())
+    report(text)
+    assert len(rows) == 3
+    for row in rows:
+        assert row["|T| measured"] > 0
+        assert row["|C| measured"] > 0
+        assert row["|E| measured"] > 0
+        # scaled stand-ins stay below the crawl sizes
+        assert row["|T| measured"] <= row["|T| paper"]

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper and prints
+the measured rows next to the paper's numbers (the reproduction
+deliverable), while pytest-benchmark records the wall time of the
+underlying experiment.
+
+Scale knobs: set ``REPRO_BENCH_SCALE`` (default 1.0) to enlarge or
+shrink every dataset, e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/
+--benchmark-only`` for a run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction report to the real terminal."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _print
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` exactly once (experiments are heavyweight)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

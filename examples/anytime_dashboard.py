@@ -1,0 +1,60 @@
+"""Any-time matching: stop GreedyMR early, serve the current solution.
+
+§5.4/§6: GreedyMR "maintains a feasible solution at each step.
+Therefore the algorithm can be terminated at any step and return the
+current solution ... content can be delivered to the users almost
+immediately and the algorithm can continue running in the background."
+
+This example renders the Figure 5 convergence curve as a terminal
+dashboard and shows the quality you would serve if you stopped after
+25% / 50% / 75% of the rounds.
+
+Run:  python examples/anytime_dashboard.py
+"""
+
+from repro.datasets import flickr_dataset
+from repro.matching import greedy_mr_b_matching
+
+BAR_WIDTH = 48
+
+
+def main() -> None:
+    dataset = flickr_dataset(
+        "flickr-anytime", num_photos=500, num_users=90, seed=5
+    )
+    graph = dataset.graph(sigma=2.0, alpha=2.0)
+    print(
+        f"instance: {graph.num_edges} edges, "
+        f"{graph.num_nodes} nodes\n"
+    )
+
+    result = greedy_mr_b_matching(graph)
+    history = result.value_history
+    final = history[-1]
+
+    print("round  value        fraction")
+    for round_number, value in enumerate(history, start=1):
+        fraction = value / final
+        bar = "#" * int(fraction * BAR_WIDTH)
+        print(
+            f"{round_number:>5}  {value:>11,.0f}  "
+            f"{fraction:>7.1%} |{bar}"
+        )
+
+    rounds_at_95 = result.iterations_to_fraction(0.95)
+    print(
+        f"\n95% of the final value after round {rounds_at_95} of "
+        f"{result.rounds} "
+        f"({rounds_at_95 / result.rounds:.1%} of the iterations; "
+        "paper reports 29-44% across its datasets)"
+    )
+    for stop in (0.25, 0.5, 0.75):
+        index = max(int(stop * len(history)) - 1, 0)
+        print(
+            f"stopping at {stop:.0%} of rounds serves "
+            f"{history[index] / final:.2%} of the final value"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without PEP 660 editable-wheel support.
+
+The build environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` falls back to this legacy path
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

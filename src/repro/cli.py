@@ -1,0 +1,245 @@
+"""Command-line interface: generate datasets, join, match, experiment.
+
+The CLI mirrors how the paper's system would be operated as batch
+jobs::
+
+    repro generate flickr-small --scale 0.2 --out /tmp/fs
+    repro join /tmp/fs --sigma 4.0 --method mapreduce
+    repro match /tmp/fs --sigma 4.0 --alpha 2.0 --algorithm greedy_mr \
+        --out /tmp/fs/matching.tsv
+    repro experiment --only fig5 --scale 0.5
+
+``generate`` persists the item/consumer vectors, activity, and quality
+signals as TSV; ``join`` materializes candidate edges; ``match`` builds
+the Problem-1 instance (capacities per §4) and writes the matched edges;
+``experiment`` delegates to :mod:`repro.experiments.__main__`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from .datasets import load_dataset
+from .datasets.registry import DATASETS
+from .graph import BipartiteGraph, write_capacities, write_edges
+from .matching import ALGORITHMS, solve
+from .simjoin import candidate_edges
+
+__all__ = ["main", "build_parser"]
+
+
+def _write_vectors(path: str, vectors: Dict[str, Dict[str, float]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for doc in sorted(vectors):
+            handle.write(f"{doc}\t{json.dumps(vectors[doc], sort_keys=True)}\n")
+
+
+def _read_vectors(path: str) -> Dict[str, Dict[str, float]]:
+    vectors: Dict[str, Dict[str, float]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            doc, payload = line.split("\t", 1)
+            vectors[doc] = json.loads(payload)
+    return vectors
+
+
+def _read_scalars(path: str) -> Dict[str, float]:
+    scalars: Dict[str, float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            key, value = line.split("\t", 1)
+            scalars[key] = float(value)
+    return scalars
+
+
+def _write_scalars(path: str, scalars: Dict[str, float]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for key in sorted(scalars):
+            handle.write(f"{key}\t{scalars[key]!r}\n")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    os.makedirs(args.out, exist_ok=True)
+    _write_vectors(os.path.join(args.out, "items.tsv"), dataset.items)
+    _write_vectors(
+        os.path.join(args.out, "consumers.tsv"), dataset.consumers
+    )
+    _write_scalars(
+        os.path.join(args.out, "activity.tsv"), dataset.consumer_activity
+    )
+    _write_scalars(
+        os.path.join(args.out, "quality.tsv"), dataset.item_quality
+    )
+    with open(
+        os.path.join(args.out, "meta.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(
+            {
+                "name": dataset.name,
+                "capacity_scheme": dataset.capacity_scheme,
+                "seed": args.seed,
+                "scale": args.scale,
+            },
+            handle,
+        )
+    print(
+        f"wrote {dataset.num_items} items / "
+        f"{dataset.num_consumers} consumers to {args.out}"
+    )
+    return 0
+
+
+def _load_corpus(directory: str):
+    items = _read_vectors(os.path.join(directory, "items.tsv"))
+    consumers = _read_vectors(os.path.join(directory, "consumers.tsv"))
+    with open(
+        os.path.join(directory, "meta.json"), "r", encoding="utf-8"
+    ) as handle:
+        meta = json.load(handle)
+    return items, consumers, meta
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    items, consumers, _ = _load_corpus(args.corpus)
+    start = time.perf_counter()
+    edges = candidate_edges(
+        items, consumers, args.sigma, method=args.method
+    )
+    elapsed = time.perf_counter() - start
+    out = args.out or os.path.join(args.corpus, "edges.tsv")
+    write_edges(out, edges)
+    print(
+        f"{len(edges)} candidate edges >= {args.sigma} "
+        f"({args.method}, {elapsed:.2f}s) -> {out}"
+    )
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from .datasets.base import Dataset
+
+    items, consumers, meta = _load_corpus(args.corpus)
+    dataset = Dataset(
+        name=meta["name"],
+        items=items,
+        consumers=consumers,
+        consumer_activity=_read_scalars(
+            os.path.join(args.corpus, "activity.tsv")
+        ),
+        item_quality=_read_scalars(
+            os.path.join(args.corpus, "quality.tsv")
+        ),
+        capacity_scheme=meta["capacity_scheme"],
+    )
+    graph = dataset.graph(sigma=args.sigma, alpha=args.alpha)
+    kwargs = {}
+    if args.algorithm.startswith("stack"):
+        kwargs["epsilon"] = args.epsilon
+        kwargs["seed"] = args.seed
+    start = time.perf_counter()
+    result = solve(graph, args.algorithm, **kwargs)
+    elapsed = time.perf_counter() - start
+    report = result.violations(graph.capacities())
+    out = args.out or os.path.join(args.corpus, "matching.tsv")
+    write_edges(out, result.matching.edges())
+    print(
+        f"{result.algorithm}: value={result.value:,.2f} "
+        f"edges={len(result.matching)} rounds={result.rounds} "
+        f"mr_jobs={result.mr_jobs} "
+        f"avg_violation={report.average_violation:.4f} "
+        f"({elapsed:.2f}s) -> {out}"
+    )
+    if args.capacities_out:
+        write_capacities(args.capacities_out, graph.capacities())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    argv: List[str] = ["--scale", str(args.scale), "--seed", str(args.seed)]
+    if args.only:
+        argv += ["--only", args.only]
+    return experiments_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Social Content Matching in MapReduce (VLDB 2011) — "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic dataset to a directory"
+    )
+    generate.add_argument("dataset", choices=sorted(DATASETS))
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.set_defaults(func=_cmd_generate)
+
+    join = sub.add_parser(
+        "join", help="compute candidate edges for a generated corpus"
+    )
+    join.add_argument("corpus", help="directory written by 'generate'")
+    join.add_argument("--sigma", type=float, required=True)
+    join.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "exact", "scipy", "mapreduce"),
+    )
+    join.add_argument("--out")
+    join.set_defaults(func=_cmd_join)
+
+    match = sub.add_parser(
+        "match", help="solve the b-matching for a generated corpus"
+    )
+    match.add_argument("corpus", help="directory written by 'generate'")
+    match.add_argument("--sigma", type=float, required=True)
+    match.add_argument("--alpha", type=float, default=2.0)
+    match.add_argument(
+        "--algorithm", default="greedy_mr", choices=sorted(ALGORITHMS)
+    )
+    match.add_argument("--epsilon", type=float, default=1.0)
+    match.add_argument("--seed", type=int, default=0)
+    match.add_argument("--out")
+    match.add_argument("--capacities-out")
+    match.set_defaults(func=_cmd_match)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce the paper's tables and figures"
+    )
+    experiment.add_argument("--scale", type=float, default=1.0)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--only", default="")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

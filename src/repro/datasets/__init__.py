@@ -1,0 +1,35 @@
+"""Synthetic stand-ins for the paper's flickr and Yahoo! Answers data.
+
+Public surface::
+
+    from repro.datasets import load_dataset
+    dataset = load_dataset("flickr-small", seed=0, scale=0.2)
+    graph = dataset.graph(sigma=2.0, alpha=2.0)
+
+See DESIGN.md ("Substitutions") for why synthetic generators stand in
+for the proprietary crawls and what shape properties they preserve.
+"""
+
+from .base import Dataset, TopicModel
+from .flickr import flickr_dataset, flickr_large, flickr_small
+from .registry import DATASETS, load_dataset
+from .stats import Histogram, log_histogram, tail_summary
+from .yahoo_answers import yahoo_answers, yahoo_answers_dataset
+from .zipf import ZipfSampler, discrete_power_law
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "Histogram",
+    "TopicModel",
+    "ZipfSampler",
+    "discrete_power_law",
+    "flickr_dataset",
+    "flickr_large",
+    "flickr_small",
+    "load_dataset",
+    "log_histogram",
+    "tail_summary",
+    "yahoo_answers",
+    "yahoo_answers_dataset",
+]

@@ -1,0 +1,166 @@
+"""Synthetic flickr-like datasets (photos × users, tag vectors).
+
+Stand-in for the paper's two flickr crawls (see DESIGN.md for the
+substitution argument).  The generative process follows §6:
+
+* each user ``u`` posts ``n(u)`` photos, with ``n(u)`` power-law
+  distributed (this is both the activity proxy for ``b(u) = α·n(u)``
+  and the source of the capacity skew in Figure 7);
+* a photo is a bag of tags drawn from its owner's topic mixture; the
+  photo vector is its tag-count vector;
+* a user's vector aggregates the tags they used across their photos
+  ("each user by the set of all tags he or she has used");
+* each photo has a favorites count ``f(p)`` (power law), the quality
+  proxy behind ``b(p) = f(p) · Σ_u α·n(u) / Σ_q f(q)``;
+* edge weights are raw dot products of tag vectors, so similarities are
+  integers ≥ 1 with a heavy tail, as in Figure 6.
+
+``flickr_small`` defaults to the paper's actual scale (≈2.8k photos,
+≈530 users).  ``flickr_large`` keeps the paper's *shape* — more skewed
+activity and favorites — at ~1/30 of the node count so the suite runs
+on one machine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .base import Dataset, TopicModel
+from .zipf import discrete_power_law
+
+__all__ = ["flickr_dataset", "flickr_small", "flickr_large"]
+
+
+def flickr_dataset(
+    name: str,
+    num_photos: int,
+    num_users: int,
+    seed: int = 0,
+    vocabulary_size: int = 600,
+    num_topics: int = 12,
+    tags_min: int = 3,
+    tags_max: int = 10,
+    activity_exponent: float = 2.2,
+    activity_max: int = 60,
+    favorites_exponent: float = 1.9,
+    favorites_max: int = 500,
+    follows_exponent: float = 2.0,
+    follows_max: int = 40,
+) -> Dataset:
+    """Generate a flickr-like dataset of ``num_photos`` × ``num_users``.
+
+    Photos are assigned to users proportionally to the users' power-law
+    activity ``n(u)``; the recorded activity is the realized photo count
+    so the §4 capacity formulas see a consistent world.
+
+    A follow graph is generated alongside (each user follows a
+    power-law number of producers, preferentially the active ones),
+    enabling the §4 subscription-restricted candidate-edge scenario via
+    :meth:`repro.datasets.base.Dataset.subscription_edges`.
+    """
+    rng = random.Random(seed)
+    model = TopicModel(
+        vocabulary_size=vocabulary_size,
+        num_topics=num_topics,
+        rng=rng,
+    )
+    users = [f"c{j:06d}" for j in range(num_users)]
+    mixtures = {user: model.mixture() for user in users}
+    weights = [
+        discrete_power_law(
+            rng, activity_exponent, minimum=1, maximum=activity_max
+        )
+        for _ in users
+    ]
+
+    # Deal photos to users proportionally to their sampled activity.
+    owners = rng.choices(users, weights=weights, k=num_photos)
+    items = {}
+    consumers = {user: {} for user in users}
+    activity = {user: 0.0 for user in users}
+    quality = {}
+    item_owner = {}
+    for index, owner in enumerate(owners):
+        photo = f"t{index:06d}"
+        item_owner[photo] = owner
+        num_tags = rng.randint(tags_min, tags_max)
+        vector = model.document(mixtures[owner], num_tags)
+        items[photo] = vector
+        activity[owner] += 1.0
+        profile = consumers[owner]
+        for tag, count in vector.items():
+            profile[tag] = profile.get(tag, 0.0) + count
+        quality[photo] = float(
+            discrete_power_law(
+                rng, favorites_exponent, minimum=1, maximum=favorites_max
+            )
+        )
+
+    # Users who happened to post nothing still browse: give them a
+    # light profile and activity 1 (the paper's b(u) >= 1 floor).
+    for user in users:
+        if not consumers[user]:
+            consumers[user] = model.document(mixtures[user], tags_max)
+            activity[user] = 1.0
+
+    # Follow graph: each user subscribes to a power-law number of
+    # producers, preferentially the active ones (never themselves).
+    subscriptions = {}
+    for user in users:
+        follow_count = min(
+            discrete_power_law(
+                rng, follows_exponent, minimum=1, maximum=follows_max
+            ),
+            num_users - 1,
+        )
+        followed = set()
+        while len(followed) < follow_count:
+            candidate = rng.choices(users, weights=weights, k=1)[0]
+            if candidate != user:
+                followed.add(candidate)
+        subscriptions[user] = frozenset(followed)
+
+    return Dataset(
+        name=name,
+        items=items,
+        consumers=consumers,
+        consumer_activity=activity,
+        item_quality=quality,
+        capacity_scheme="quality",
+        item_owner=item_owner,
+        subscriptions=subscriptions,
+    )
+
+
+def flickr_small(seed: int = 0, scale: float = 1.0) -> Dataset:
+    """The flickr-small stand-in at the paper's own scale by default."""
+    return flickr_dataset(
+        "flickr-small",
+        num_photos=max(10, int(2817 * scale)),
+        num_users=max(5, int(526 * scale)),
+        seed=seed,
+    )
+
+
+def flickr_large(seed: int = 0, scale: float = 1.0) -> Dataset:
+    """The flickr-large stand-in (scaled ~1/30, heavier skew).
+
+    The paper's flickr-large (373k photos / 33k users) differs from
+    flickr-small in size *and* in its much more uneven capacity
+    distribution — the property §6 blames for StackGreedyMR's quality
+    dip and for the larger violations.  We keep that shape: higher
+    activity/favorites variance and a larger tag space.
+    """
+    return flickr_dataset(
+        "flickr-large",
+        num_photos=max(10, int(12000 * scale)),
+        num_users=max(5, int(1100 * scale)),
+        seed=seed,
+        vocabulary_size=1500,
+        num_topics=20,
+        activity_exponent=1.7,
+        activity_max=400,
+        favorites_exponent=1.6,
+        favorites_max=5000,
+    )

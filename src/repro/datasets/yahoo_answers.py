@@ -1,0 +1,102 @@
+"""Synthetic Yahoo!-Answers-like dataset (questions × answerers).
+
+Stand-in for the paper's yahoo-answers crawl (DESIGN.md).  Following §6:
+
+* consumers are users; ``n(u)`` (number of answers, power law) proxies
+  their activity and sets ``b(u) = α·n(u)``;
+* items are open questions; every question gets the same budget
+  ``b(q) = Σ_u α·n(u) / |Q|`` (the paper's "constant capacity for all
+  questions, in order to test our algorithm under different settings");
+* question and user texts are produced by the topic model, then
+  stop-word-free tokens are tf·idf-weighted (both collections share one
+  idf scale, as in "we treat questions similarly");
+* edge weights are dot products of the tf·idf vectors, giving the
+  continuous heavy-tailed similarity distribution of Figure 6.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..text.tfidf import TfIdfModel
+from ..text.vectors import TermVector
+from .base import Dataset, TopicModel
+from .zipf import discrete_power_law
+
+__all__ = ["yahoo_answers_dataset", "yahoo_answers"]
+
+
+def yahoo_answers_dataset(
+    name: str,
+    num_questions: int,
+    num_users: int,
+    seed: int = 0,
+    vocabulary_size: int = 2000,
+    num_topics: int = 25,
+    question_length_min: int = 8,
+    question_length_max: int = 30,
+    answer_length: int = 20,
+    activity_exponent: float = 1.9,
+    activity_max: int = 120,
+) -> Dataset:
+    """Generate a yahoo-answers-like dataset."""
+    rng = random.Random(seed)
+    model = TopicModel(
+        vocabulary_size=vocabulary_size,
+        num_topics=num_topics,
+        rng=rng,
+    )
+
+    raw_questions: Dict[str, TermVector] = {}
+    for index in range(num_questions):
+        mixture = model.mixture()
+        length = rng.randint(question_length_min, question_length_max)
+        raw_questions[f"t{index:06d}"] = model.document(mixture, length)
+
+    raw_users: Dict[str, TermVector] = {}
+    activity: Dict[str, float] = {}
+    for index in range(num_users):
+        user = f"c{index:06d}"
+        mixture = model.mixture()
+        answers = discrete_power_law(
+            rng, activity_exponent, minimum=1, maximum=activity_max
+        )
+        profile: TermVector = {}
+        for _ in range(answers):
+            answer = model.document(mixture, answer_length)
+            for word, count in answer.items():
+                profile[word] = profile.get(word, 0.0) + count
+        raw_users[user] = profile
+        activity[user] = float(answers)
+
+    # One shared idf scale over both collections (questions + profiles).
+    tfidf = TfIdfModel.fit(
+        list(raw_questions.values()) + list(raw_users.values())
+    )
+    questions = {
+        doc: tfidf.transform(vector)
+        for doc, vector in raw_questions.items()
+    }
+    users = {
+        doc: tfidf.transform(vector) for doc, vector in raw_users.items()
+    }
+
+    return Dataset(
+        name=name,
+        items=questions,
+        consumers=users,
+        consumer_activity=activity,
+        item_quality={},
+        capacity_scheme="uniform",
+    )
+
+
+def yahoo_answers(seed: int = 0, scale: float = 1.0) -> Dataset:
+    """The yahoo-answers stand-in (scaled ~1/1000 of the crawl)."""
+    return yahoo_answers_dataset(
+        "yahoo-answers",
+        num_questions=max(10, int(4800 * scale)),
+        num_users=max(5, int(1150 * scale)),
+        seed=seed,
+    )

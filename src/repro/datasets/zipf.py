@@ -1,0 +1,76 @@
+"""Heavy-tailed samplers for the synthetic workload generators.
+
+The paper's datasets exhibit power-law shapes everywhere (Figures 6–7):
+tag/word frequencies, user activity, photo favorites.  These samplers
+produce the same shapes with seeded, pure-Python randomness.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional, Sequence
+
+__all__ = ["ZipfSampler", "discrete_power_law"]
+
+
+class ZipfSampler:
+    """Sample ranks ``0..n-1`` with ``P(r) ∝ 1/(r+1)^s``.
+
+    Cumulative weights are precomputed once; each draw is a binary
+    search, so sampling a million tokens is cheap.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.1) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one rank, got {n}")
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / (rank + 1) ** exponent
+        # store normalized cumulative probabilities
+        running = 0.0
+        for rank in range(n):
+            running += (1.0 / (rank + 1) ** exponent) / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank."""
+        return bisect.bisect_left(self._cumulative, rng.random())
+
+    def sample_many(self, rng: random.Random, k: int) -> List[int]:
+        """Draw ``k`` ranks independently."""
+        cumulative = self._cumulative
+        return [
+            bisect.bisect_left(cumulative, rng.random()) for _ in range(k)
+        ]
+
+
+def discrete_power_law(
+    rng: random.Random,
+    exponent: float,
+    minimum: int = 1,
+    maximum: Optional[int] = None,
+) -> int:
+    """One draw from a discrete Pareto tail: ``P(X >= x) ∝ x^{1-exponent}``.
+
+    Uses inverse-transform sampling of the continuous Pareto floored to
+    an integer; ``maximum`` caps the tail (resampling by clipping) so a
+    single user cannot swallow an entire synthetic corpus.
+    """
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    if minimum < 1:
+        raise ValueError(f"minimum must be >= 1, got {minimum}")
+    u = rng.random()
+    value = int(minimum * (1.0 - u) ** (-1.0 / (exponent - 1.0)))
+    value = max(minimum, value)
+    if maximum is not None:
+        value = min(value, maximum)
+    return value

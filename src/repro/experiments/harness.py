@@ -1,0 +1,99 @@
+"""Sweep runner: executes one figure's parameter grid and collects rows.
+
+The paper's Figures 1–4 all share one experimental skeleton: fix (α, ε),
+sweep the similarity threshold σ (reported as the resulting number of
+candidate edges on the x-axis), and run each algorithm on every
+instance.  :func:`run_sweep` implements that skeleton once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datasets.base import Dataset
+from ..datasets.registry import load_dataset
+from .config import SweepSpec
+from .metrics import ResultRow, run_algorithm
+
+__all__ = ["SweepOutcome", "sigma_grid", "run_sweep"]
+
+
+@dataclass
+class SweepOutcome:
+    """All measured rows of one sweep plus the dataset that produced them."""
+
+    spec: SweepSpec
+    dataset: Dataset
+    sigmas: List[float]
+    rows: List[ResultRow]
+
+    def series(
+        self, algorithm: str, alpha: float, field: str
+    ) -> Tuple[List[int], List]:
+        """Extract one figure series: x = #edges, y = ``field``."""
+        points = sorted(
+            (
+                (row.num_edges, getattr(row, field))
+                for row in self.rows
+                if row.algorithm == algorithm and row.alpha == alpha
+            ),
+            key=lambda point: point[0],
+        )
+        return [p[0] for p in points], [p[1] for p in points]
+
+
+def sigma_grid(
+    dataset: Dataset,
+    edge_fractions: Sequence[float],
+    floor_sigma: float,
+) -> List[float]:
+    """σ values whose edge counts hit the requested fractions.
+
+    Fractions are of the candidate-edge count at ``floor_sigma``;
+    duplicates (possible on very discrete similarity distributions) are
+    collapsed.
+    """
+    total = len(dataset.edges(floor_sigma))
+    sigmas: List[float] = []
+    for fraction in sorted(edge_fractions):
+        target = max(1, int(fraction * total))
+        sigma = dataset.sigma_for_edge_count(target, floor_sigma)
+        if not sigmas or abs(sigma - sigmas[-1]) > 1e-12:
+            sigmas.append(sigma)
+    return sigmas
+
+
+def run_sweep(
+    spec: SweepSpec,
+    seed: int = 0,
+    algorithm_kwargs: Optional[Dict[str, Dict]] = None,
+) -> SweepOutcome:
+    """Run every (α, σ, algorithm) cell of ``spec`` and collect rows.
+
+    ``algorithm_kwargs`` optionally forwards per-algorithm keyword
+    arguments (e.g. ``{"stack_mr": {"seed": 3}}``).
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    dataset = load_dataset(spec.dataset, seed=seed, scale=spec.scale)
+    sigmas = sigma_grid(dataset, spec.edge_fractions, spec.floor_sigma)
+    rows: List[ResultRow] = []
+    for alpha in spec.alphas:
+        for sigma in sigmas:
+            graph = dataset.graph(sigma=sigma, alpha=alpha)
+            for algorithm in spec.algorithms:
+                kwargs = dict(algorithm_kwargs.get(algorithm, {}))
+                rows.append(
+                    run_algorithm(
+                        dataset.name,
+                        graph,
+                        algorithm,
+                        sigma=sigma,
+                        alpha=alpha,
+                        epsilon=spec.epsilon,
+                        **kwargs,
+                    )
+                )
+    return SweepOutcome(
+        spec=spec, dataset=dataset, sigmas=sigmas, rows=rows
+    )

@@ -1,0 +1,57 @@
+"""Numbers reported in the paper, for side-by-side comparison.
+
+Every benchmark prints the paper's value next to the measured one.  We
+reproduce *shapes* (who wins, by roughly what factor, how quantities
+scale), not absolute numbers: the substrate is a simulator and the
+datasets are synthetic stand-ins (DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "GREEDY_IMPROVEMENT_OVER_STACK",
+    "FIG5_ITERATION_FRACTION_AT_95PCT",
+    "FLICKR_LARGE_WORST_VIOLATION",
+    "PAPER_CITATION",
+]
+
+PAPER_CITATION = (
+    "G. De Francisci Morales, A. Gionis, M. Sozio. Social Content "
+    "Matching in MapReduce. PVLDB 4(7):460-469, 2011."
+)
+
+#: Table 1 — dataset characteristics as crawled by the authors.
+TABLE1 = {
+    "flickr-small": {"items": 2_817, "consumers": 526, "edges": 550_667},
+    "flickr-large": {
+        "items": 373_373,
+        "consumers": 32_707,
+        "edges": 1_995_123_827,
+    },
+    "yahoo-answers": {
+        "items": 4_852_689,
+        "consumers": 1_149_714,
+        "edges": 18_847_281_236,
+    },
+}
+
+#: §6 "Quality": average value advantage of GreedyMR over StackMR.
+GREEDY_IMPROVEMENT_OVER_STACK = {
+    "flickr-small": 0.11,
+    "flickr-large": 0.31,
+    "yahoo-answers": 0.14,
+}
+
+#: §6 "Any-time stopping": fraction of GreedyMR iterations needed to
+#: reach 95% of the final matching value (averaged over settings).
+FIG5_ITERATION_FRACTION_AT_95PCT = {
+    "flickr-small": 0.2891,
+    "flickr-large": 0.4418,
+    "yahoo-answers": 0.2935,
+}
+
+#: §6 "Capacity violations": worst average violation observed for
+#: StackMR at ε=1 on flickr-large ("as low as 6% in the worst case");
+#: practically zero on yahoo-answers.
+FLICKR_LARGE_WORST_VIOLATION = 0.06

@@ -1,0 +1,54 @@
+"""In-process MapReduce simulator (the Hadoop substrate of the paper).
+
+Public API::
+
+    from repro.mapreduce import MapReduceJob, MapReduceRuntime, IterativeDriver
+
+    class WordCount(MapReduceJob):
+        has_combiner = True
+        def map(self, key, line):
+            for word in line.split():
+                yield word, 1
+        def reduce(self, word, counts):
+            yield word, sum(counts)
+        combine = reduce
+
+    runtime = MapReduceRuntime(num_map_tasks=4, num_reduce_tasks=4)
+    output = runtime.run(WordCount(), [(0, "a b a")])
+
+See DESIGN.md (substitution table) for how this simulator stands in for
+the Hadoop cluster used in the paper's evaluation.
+"""
+
+from .counters import Counters
+from .driver import IterativeDriver
+from .errors import (
+    DriverError,
+    JobValidationError,
+    MapReduceError,
+    RoundLimitExceeded,
+)
+from .hdfs import FileSystemError, InMemoryFileSystem
+from .job import KeyValue, MapReduceJob
+from .partitioner import HashPartitioner, canonical_bytes, stable_hash
+from .pipeline import Pipeline, PipelineStage
+from .runtime import MapReduceRuntime
+
+__all__ = [
+    "Counters",
+    "DriverError",
+    "FileSystemError",
+    "HashPartitioner",
+    "InMemoryFileSystem",
+    "IterativeDriver",
+    "JobValidationError",
+    "KeyValue",
+    "MapReduceError",
+    "MapReduceJob",
+    "MapReduceRuntime",
+    "Pipeline",
+    "PipelineStage",
+    "RoundLimitExceeded",
+    "canonical_bytes",
+    "stable_hash",
+]

@@ -1,0 +1,70 @@
+"""Drivers for iterative MapReduce computations.
+
+Every algorithm in the paper is *iterative*: GreedyMR runs one job per
+round until no edge remains; StackMR alternates maximal-matching rounds,
+dual updates, and stack pops.  :class:`IterativeDriver` factors out the
+round accounting, the convergence loop, and the safety cap that turns a
+non-terminating bug into a loud :class:`~repro.mapreduce.errors.
+RoundLimitExceeded` instead of a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+from .counters import Counters
+from .errors import RoundLimitExceeded
+from .runtime import MapReduceRuntime
+
+__all__ = ["IterativeDriver"]
+
+State = TypeVar("State")
+
+#: One round of an iterative computation: consume the current state and
+#: round number, return ``(next_state, done)``.
+RoundFunction = Callable[[State, int], Tuple[State, bool]]
+
+
+class IterativeDriver(Generic[State]):
+    """Run a round function to convergence on a simulated cluster.
+
+    The driver does not interpret the state; it only loops, counts rounds,
+    and optionally invokes a progress callback after each round (used by
+    the experiment harness to record any-time solution values).
+    """
+
+    def __init__(
+        self,
+        runtime: MapReduceRuntime,
+        name: str,
+        max_rounds: int = 1_000_000,
+        on_round_end: Optional[Callable[[State, int], None]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.name = name
+        self.max_rounds = max_rounds
+        self.on_round_end = on_round_end
+        self.rounds_completed = 0
+        self.jobs_per_round: List[int] = []
+
+    @property
+    def counters(self) -> Counters:
+        """The counters of the underlying runtime."""
+        return self.runtime.counters
+
+    def iterate(self, step: RoundFunction, initial: State) -> State:
+        """Run ``step`` until it reports completion and return the state."""
+        state = initial
+        for round_number in range(self.max_rounds):
+            jobs_before = self.runtime.jobs_executed
+            state, done = step(state, round_number)
+            self.rounds_completed = round_number + 1
+            self.jobs_per_round.append(
+                self.runtime.jobs_executed - jobs_before
+            )
+            self.counters.increment(self.name, "rounds")
+            if self.on_round_end is not None:
+                self.on_round_end(state, round_number)
+            if done:
+                return state
+        raise RoundLimitExceeded(self.name, self.max_rounds)

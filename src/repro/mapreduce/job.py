@@ -1,0 +1,92 @@
+"""Job abstractions: user-defined map / combine / reduce functions.
+
+A :class:`MapReduceJob` bundles the two user-defined functions of the
+MapReduce paradigm (Dean & Ghemawat), with the signatures used in the
+paper's Section 3.1::
+
+    map:    <k1, v1>    -> [<k2, v2>]
+    reduce: <k2, [v2]>  -> [<k3, v3>]
+
+Jobs may additionally define a ``combine`` function (a map-side
+pre-reducer) and may receive read-only *side data* — the analogue of
+Hadoop's DistributedCache — through :meth:`MapReduceJob.configure`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["KeyValue", "MapReduceJob"]
+
+#: A single record flowing through the simulated cluster.
+KeyValue = Tuple[Any, Any]
+
+
+class MapReduceJob:
+    """Base class for user-defined MapReduce jobs.
+
+    Subclasses must override :meth:`map` and :meth:`reduce`; both are
+    generators (or return iterables) of ``(key, value)`` pairs.  Jobs must
+    be *stateless across records* except for configuration delivered by
+    :meth:`configure` — the runtime is free to re-order record processing
+    within a phase, exactly like a real cluster.
+    """
+
+    #: Name used for counter groups and driver logs.  Defaults to the
+    #: class name; override for parameterized jobs.
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+        self._side_data: Mapping[str, Any] = {}
+
+    # -- configuration ---------------------------------------------------
+
+    def configure(self, side_data: Optional[Mapping[str, Any]]) -> None:
+        """Install read-only side data before the job runs.
+
+        This models Hadoop's DistributedCache: small, immutable data
+        (e.g. the document store used to verify similarity-join
+        candidates) shipped to every task.
+        """
+        self._side_data = dict(side_data) if side_data else {}
+
+    @property
+    def side_data(self) -> Mapping[str, Any]:
+        """The read-only side data installed by :meth:`configure`."""
+        return self._side_data
+
+    # -- user-defined functions ------------------------------------------
+
+    def map(self, key: Any, value: Any) -> Iterable[KeyValue]:
+        """Transform one input record into intermediate records."""
+        raise NotImplementedError
+
+    def reduce(self, key: Any, values: List[Any]) -> Iterable[KeyValue]:
+        """Transform one intermediate key group into output records."""
+        raise NotImplementedError
+
+    # -- optional hooks ----------------------------------------------------
+
+    #: Set to ``True`` in subclasses that implement :meth:`combine`.
+    has_combiner: bool = False
+
+    def combine(self, key: Any, values: List[Any]) -> Iterable[KeyValue]:
+        """Optional map-side combiner; by default the identity grouping.
+
+        Only invoked when :attr:`has_combiner` is ``True``.  The combiner
+        must be semantically idempotent with respect to ``reduce`` (it may
+        run zero or more times).
+        """
+        for value in values:
+            yield key, value
+
+    # -- helpers -----------------------------------------------------------
+
+    def emit_all(self, pairs: Iterable[KeyValue]) -> Iterator[KeyValue]:
+        """Yield every pair from ``pairs`` (convenience for delegation)."""
+        yield from pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,69 @@
+"""Deterministic partitioning of intermediate keys to reduce tasks.
+
+Python's built-in :func:`hash` is randomized per process for strings, which
+would make simulated shuffles non-reproducible across runs.  We therefore
+hash a *canonical byte encoding* of each key with MD5.  The same encoding
+doubles as a total order for the sort phase, so keys of heterogeneous types
+can be sorted deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from .errors import JobValidationError
+
+__all__ = ["canonical_bytes", "stable_hash", "HashPartitioner"]
+
+
+def canonical_bytes(key: Any) -> bytes:
+    """Encode ``key`` into bytes, stably across processes and runs.
+
+    Supported key types are the ones used throughout this package:
+    ``str``, ``bytes``, ``int``, ``float``, ``bool``, ``None`` and
+    (arbitrarily nested) tuples thereof.  Each value is prefixed with a
+    type tag so that e.g. ``1`` and ``"1"`` encode differently.
+    """
+    if key is None:
+        return b"N"
+    if isinstance(key, bool):  # must precede int: bool is a subclass
+        return b"B1" if key else b"B0"
+    if isinstance(key, int):
+        return b"I" + str(key).encode("ascii")
+    if isinstance(key, float):
+        return b"F" + repr(key).encode("ascii")
+    if isinstance(key, str):
+        return b"S" + key.encode("utf-8")
+    if isinstance(key, bytes):
+        return b"Y" + key
+    if isinstance(key, tuple):
+        parts = [canonical_bytes(part) for part in key]
+        body = b"".join(
+            len(part).to_bytes(4, "big") + part for part in parts
+        )
+        return b"T" + body
+    raise JobValidationError(
+        f"unsupported key type for shuffling: {type(key).__name__}"
+    )
+
+
+def stable_hash(key: Any) -> int:
+    """Return a process-independent 64-bit hash of ``key``."""
+    digest = hashlib.md5(canonical_bytes(key)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashPartitioner:
+    """Assign each key to one of ``num_partitions`` reduce tasks.
+
+    This is the default partitioner, the analogue of Hadoop's
+    ``HashPartitioner``.  Custom partitioners only need to be callables
+    with the same ``(key, num_partitions) -> int`` signature.
+    """
+
+    def __call__(self, key: Any, num_partitions: int) -> int:
+        return stable_hash(key) % num_partitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HashPartitioner()"

@@ -1,0 +1,121 @@
+"""Declarative multi-job pipelines over the in-memory filesystem.
+
+The paper's system is a pipeline of MapReduce jobs wired through the
+distributed filesystem (similarity join: term-bounds → candidates →
+verify; matching: one job per iteration).  :class:`Pipeline` captures
+that wiring declaratively so stages can be inspected, re-run, and
+tested individually — the shape a production Hadoop driver would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .errors import MapReduceError
+from .hdfs import InMemoryFileSystem
+from .job import MapReduceJob
+from .runtime import MapReduceRuntime
+
+__all__ = ["PipelineStage", "Pipeline"]
+
+#: Lazily computed side data: receives the filesystem, returns the
+#: mapping shipped to the stage's tasks (e.g. a dict built from a
+#: previous stage's output).
+SideDataFactory = Callable[[InMemoryFileSystem], Mapping[str, Any]]
+
+
+@dataclass
+class PipelineStage:
+    """One MapReduce job with its input paths and output path."""
+
+    job: MapReduceJob
+    inputs: Sequence[str]
+    output: str
+    side_data: Optional[SideDataFactory] = None
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the stage."""
+        inputs = ", ".join(self.inputs)
+        return f"{self.job.name}: [{inputs}] -> {self.output}"
+
+
+class Pipeline:
+    """Run a sequence of stages on a runtime + filesystem pair.
+
+    >>> fs = InMemoryFileSystem()
+    >>> _ = fs.write("/in", [(0, "a b a")])
+    >>> # pipeline = Pipeline(runtime, fs); pipeline.add(job, ["/in"], "/out")
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[MapReduceRuntime] = None,
+        filesystem: Optional[InMemoryFileSystem] = None,
+    ) -> None:
+        self.runtime = runtime or MapReduceRuntime()
+        self.filesystem = filesystem or InMemoryFileSystem()
+        self.stages: List[PipelineStage] = []
+        self.records_out: Dict[str, int] = {}
+
+    def add(
+        self,
+        job: MapReduceJob,
+        inputs: Sequence[str],
+        output: str,
+        side_data: Optional[SideDataFactory] = None,
+    ) -> "Pipeline":
+        """Append a stage; returns ``self`` for chaining."""
+        self.stages.append(
+            PipelineStage(
+                job=job,
+                inputs=list(inputs),
+                output=output,
+                side_data=side_data,
+            )
+        )
+        return self
+
+    def validate(self) -> None:
+        """Check stage wiring before running anything.
+
+        Every stage's inputs must exist on the filesystem already or be
+        produced by an *earlier* stage, and no two stages may write the
+        same output.
+        """
+        produced = set()
+        for stage in self.stages:
+            for path in stage.inputs:
+                if path not in produced and not self.filesystem.exists(
+                    path
+                ):
+                    raise MapReduceError(
+                        f"stage {stage.job.name!r} reads {path!r}, which "
+                        "no earlier stage produces and which does not "
+                        "exist"
+                    )
+            if stage.output in produced:
+                raise MapReduceError(
+                    f"two stages write to {stage.output!r}"
+                )
+            produced.add(stage.output)
+
+    def run(self) -> List[tuple]:
+        """Execute all stages in order; returns the last stage's output."""
+        self.validate()
+        last: List[tuple] = []
+        for stage in self.stages:
+            records = self.filesystem.read_many(stage.inputs)
+            side = (
+                stage.side_data(self.filesystem)
+                if stage.side_data is not None
+                else None
+            )
+            last = self.runtime.run(stage.job, records, side_data=side)
+            self.filesystem.write(stage.output, last, overwrite=True)
+            self.records_out[stage.output] = len(last)
+        return last
+
+    def describe(self) -> str:
+        """Multi-line summary of the pipeline's wiring."""
+        return "\n".join(stage.describe() for stage in self.stages)

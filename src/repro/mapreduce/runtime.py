@@ -1,0 +1,271 @@
+"""An in-process MapReduce cluster simulator.
+
+This is the substrate substituting for Hadoop in the reproduction (see
+DESIGN.md): it enforces the MapReduce programming model strictly —
+
+* the input is split across ``num_map_tasks`` map tasks;
+* ``map`` is applied record-by-record with no shared mutable state;
+* intermediate pairs are *shuffled*: partitioned by a deterministic hash
+  of the key, sorted within each partition, and grouped by key;
+* ``reduce`` is applied once per key group per partition.
+
+The simulator meters the quantities the paper reports — number of jobs
+executed and records shuffled — through :class:`~repro.mapreduce.counters.
+Counters`.  Results are guaranteed to be independent of the number of map
+and reduce tasks (property-tested in ``tests/mapreduce``).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .counters import Counters
+from .errors import JobValidationError
+from .job import KeyValue, MapReduceJob
+from .partitioner import HashPartitioner, canonical_bytes
+
+__all__ = ["MapReduceRuntime"]
+
+Partitioner = Callable[[Any, int], int]
+
+
+class MapReduceRuntime:
+    """Execute :class:`MapReduceJob` instances on an in-process "cluster".
+
+    Parameters
+    ----------
+    num_map_tasks, num_reduce_tasks:
+        Degree of simulated parallelism.  Results never depend on these,
+        only the simulated task boundaries do.
+    counters:
+        Optional shared :class:`Counters`; a fresh one is created if
+        omitted.  All jobs run by this runtime meter into it.
+    meter_bytes:
+        When ``True``, the shuffle additionally meters pickled record
+        sizes under ``<job>.shuffle.bytes``.  Off by default because
+        serializing every record is slow for multi-million-edge graphs.
+    partitioner:
+        Shuffle partitioner; defaults to a deterministic hash partitioner.
+    speculative_execution:
+        When ``True``, every map task is executed twice (as a real
+        cluster may do for stragglers or after failures) and the two
+        outputs must match exactly.  This catches jobs that violate the
+        statelessness contract — the silent-corruption class of bug on
+        a real cluster.  Costs 2x map work; intended for tests.
+    """
+
+    def __init__(
+        self,
+        num_map_tasks: int = 4,
+        num_reduce_tasks: int = 4,
+        counters: Optional[Counters] = None,
+        meter_bytes: bool = False,
+        partitioner: Optional[Partitioner] = None,
+        speculative_execution: bool = False,
+    ) -> None:
+        if num_map_tasks < 1 or num_reduce_tasks < 1:
+            raise JobValidationError("task counts must be positive")
+        self.num_map_tasks = num_map_tasks
+        self.num_reduce_tasks = num_reduce_tasks
+        self.counters = counters if counters is not None else Counters()
+        self.meter_bytes = meter_bytes
+        self.partitioner: Partitioner = partitioner or HashPartitioner()
+        self.speculative_execution = speculative_execution
+        self.jobs_executed = 0
+        self.job_log: List[str] = []
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        job: MapReduceJob,
+        records: Iterable[KeyValue],
+        side_data: Optional[Mapping[str, Any]] = None,
+    ) -> List[KeyValue]:
+        """Run one complete map-shuffle-reduce cycle and return the output.
+
+        ``records`` is the job input as ``(key, value)`` pairs;
+        ``side_data`` is installed on the job via
+        :meth:`MapReduceJob.configure` before any task runs.
+        """
+        job.configure(side_data)
+        splits = self._split_input(records)
+        intermediate = self._run_map_phase(job, splits)
+        partitions = self._shuffle(job, intermediate)
+        output = self._run_reduce_phase(job, partitions)
+        self.jobs_executed += 1
+        self.job_log.append(job.name)
+        self.counters.increment("runtime", "jobs")
+        return output
+
+    # -- phases --------------------------------------------------------------
+
+    def _split_input(
+        self, records: Iterable[KeyValue]
+    ) -> List[List[KeyValue]]:
+        """Distribute input records round-robin across map tasks."""
+        splits: List[List[KeyValue]] = [
+            [] for _ in range(self.num_map_tasks)
+        ]
+        for index, record in enumerate(records):
+            if not isinstance(record, tuple) or len(record) != 2:
+                raise JobValidationError(
+                    "input records must be (key, value) pairs, got "
+                    f"{record!r}"
+                )
+            splits[index % self.num_map_tasks].append(record)
+        return splits
+
+    def _run_map_phase(
+        self, job: MapReduceJob, splits: List[List[KeyValue]]
+    ) -> List[List[KeyValue]]:
+        """Apply ``job.map`` to every record, one task per split."""
+        intermediate: List[List[KeyValue]] = []
+        group = job.name
+        for split in splits:
+            emitted = self._run_map_task(job, split, group)
+            if self.speculative_execution:
+                speculative = self._run_map_task(
+                    job, split, group, meter=False
+                )
+                if speculative != emitted:
+                    raise JobValidationError(
+                        f"{job.name}.map is non-deterministic: a "
+                        "speculative re-execution of a task produced "
+                        "different output (jobs must be stateless and "
+                        "derive any randomness from their inputs)"
+                    )
+            if job.has_combiner and emitted:
+                emitted = self._run_combiner(job, emitted)
+            self.counters.increment(
+                group, "map.output.records", len(emitted)
+            )
+            intermediate.append(emitted)
+        return intermediate
+
+    def _run_map_task(
+        self,
+        job: MapReduceJob,
+        split: List[KeyValue],
+        group: str,
+        meter: bool = True,
+    ) -> List[KeyValue]:
+        """Run one map task (one attempt) over its split."""
+        emitted: List[KeyValue] = []
+        for key, value in split:
+            if meter:
+                self.counters.increment(group, "map.input.records")
+            produced = job.map(key, value)
+            if produced is None:
+                raise JobValidationError(
+                    f"{job.name}.map returned None; return an iterable"
+                )
+            for pair in produced:
+                emitted.append(self._validated_pair(job, pair))
+        return emitted
+
+    def _run_combiner(
+        self, job: MapReduceJob, emitted: List[KeyValue]
+    ) -> List[KeyValue]:
+        """Group one map task's output by key and apply ``job.combine``."""
+        grouped = _group_sorted(_sorted_by_key(emitted))
+        combined: List[KeyValue] = []
+        for key, values in grouped:
+            for pair in job.combine(key, values):
+                combined.append(self._validated_pair(job, pair))
+        return combined
+
+    def _shuffle(
+        self, job: MapReduceJob, intermediate: List[List[KeyValue]]
+    ) -> List[List[KeyValue]]:
+        """Partition, meter, and sort the intermediate records."""
+        group = job.name
+        partitions: List[List[KeyValue]] = [
+            [] for _ in range(self.num_reduce_tasks)
+        ]
+        shuffled = 0
+        shuffled_bytes = 0
+        for task_output in intermediate:
+            for key, value in task_output:
+                index = self.partitioner(key, self.num_reduce_tasks)
+                if not 0 <= index < self.num_reduce_tasks:
+                    raise JobValidationError(
+                        f"partitioner returned {index} for "
+                        f"{self.num_reduce_tasks} partitions"
+                    )
+                partitions[index].append((key, value))
+                shuffled += 1
+                if self.meter_bytes:
+                    shuffled_bytes += len(pickle.dumps((key, value)))
+        self.counters.increment(group, "shuffle.records", shuffled)
+        self.counters.increment("runtime", "shuffle.records", shuffled)
+        if self.meter_bytes:
+            self.counters.increment(group, "shuffle.bytes", shuffled_bytes)
+        return [_sorted_by_key(partition) for partition in partitions]
+
+    def _run_reduce_phase(
+        self, job: MapReduceJob, partitions: List[List[KeyValue]]
+    ) -> List[KeyValue]:
+        """Apply ``job.reduce`` to each key group of each partition."""
+        group = job.name
+        output: List[KeyValue] = []
+        for partition in partitions:
+            for key, values in _group_sorted(partition):
+                self.counters.increment(group, "reduce.input.groups")
+                produced = job.reduce(key, values)
+                if produced is None:
+                    raise JobValidationError(
+                        f"{job.name}.reduce returned None; return an "
+                        "iterable"
+                    )
+                for pair in produced:
+                    output.append(self._validated_pair(job, pair))
+        self.counters.increment(group, "reduce.output.records", len(output))
+        return output
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _validated_pair(job: MapReduceJob, pair: Any) -> KeyValue:
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            raise JobValidationError(
+                f"{job.name} emitted {pair!r}; emit (key, value) tuples"
+            )
+        return pair
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MapReduceRuntime(map={self.num_map_tasks}, "
+            f"reduce={self.num_reduce_tasks}, jobs={self.jobs_executed})"
+        )
+
+
+def _sorted_by_key(records: List[KeyValue]) -> List[KeyValue]:
+    """Sort records by the canonical byte order of their keys.
+
+    A canonical encoding (rather than Python's ``<``) keeps the order
+    deterministic even for keys of mixed types, mirroring Hadoop's
+    byte-wise comparators.  The sort is stable, so values of equal keys
+    keep their arrival order.
+    """
+    return sorted(records, key=lambda kv: canonical_bytes(kv[0]))
+
+
+def _group_sorted(
+    records: List[KeyValue],
+) -> Iterable[Tuple[Any, List[Any]]]:
+    """Group a key-sorted record list into ``(key, [values])`` runs."""
+    run_key: Any = None
+    run_bytes: Optional[bytes] = None
+    run_values: List[Any] = []
+    for key, value in records:
+        encoded = canonical_bytes(key)
+        if run_bytes is not None and encoded == run_bytes:
+            run_values.append(value)
+        else:
+            if run_bytes is not None:
+                yield run_key, run_values
+            run_key, run_bytes, run_values = key, encoded, [value]
+    if run_bytes is not None:
+        yield run_key, run_values

@@ -1,0 +1,46 @@
+"""The sequential greedy ½-approximation for weighted b-matching (§5.4).
+
+Process edges by decreasing weight; take an edge whenever both endpoints
+still have residual capacity.  Theorem 2 of the paper proves the
+½-approximation guarantee; Appendix A's triangle instance (available as
+:func:`repro.graph.generators.greedy_tightness_triangle`) shows it tight.
+
+Ties are broken by the normalized edge key, giving a *strict* total order
+on edges — the same order GreedyMR's per-node proposal lists use, so the
+parallel algorithm simulates this sequential one (tested property).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graph.bipartite import Graph
+from ..graph.edges import edge_sort_key
+from .types import Matching, MatchingResult
+
+__all__ = ["greedy_b_matching"]
+
+
+def greedy_b_matching(graph: Graph) -> MatchingResult:
+    """Run the centralized greedy algorithm on ``graph``.
+
+    Returns a feasible matching with value at least half the optimum.
+    Runs in ``O(|E| log |E|)`` time; ``rounds`` is reported as 1 since
+    the algorithm is a single sequential sweep.
+    """
+    residual: Dict[str, int] = graph.capacities()
+    matching = Matching()
+    ordered = sorted(
+        graph.edges(), key=lambda e: edge_sort_key(e.key, e.weight)
+    )
+    for edge in ordered:
+        if residual[edge.u] > 0 and residual[edge.v] > 0:
+            matching.add(edge.u, edge.v, edge.weight)
+            residual[edge.u] -= 1
+            residual[edge.v] -= 1
+    return MatchingResult(
+        matching=matching,
+        algorithm="Greedy",
+        rounds=1,
+        value_history=[matching.value],
+    )

@@ -1,0 +1,313 @@
+"""StackMR / StackGreedyMR: the MapReduce stack algorithm (§5.2–5.3).
+
+Each *push* iteration consists of
+
+1. the maximal ``⌈ε·b⌉``-matching subroutine
+   (:mod:`repro.matching.maximal_mr`; four MapReduce jobs per inner
+   round) producing a stack *layer*,
+2. an **update** job that propagates ``y_u/b(u)`` across the layer's
+   edges so both endpoints raise their duals by the same
+   ``δ(e) = (w(e) − y_u/b(u) − y_v/b(v))/2``, and
+3. a **coverage** job that broadcasts the new dual ratios and deletes
+   every *weakly covered* edge (Definition 1: coverage at least
+   ``w(e)/(3+2ε)``).
+
+The paper folds (2) and (3) into one phase; we split them because the
+weak-coverage test needs post-update duals from *both* endpoints, which
+costs one extra round of communication per push iteration (job counts
+are reported accordingly).
+
+The *pop* phase runs one job per layer, from the top of the stack: all
+surviving edges of the layer enter the solution in parallel, nodes whose
+residual capacity reaches zero drop their remaining stacked edges.  A
+node's capacity can overflow by at most the layer size ``⌈ε·b(v)⌉ − 1``
+plus one layer, i.e. the (1+ε)-violation guarantee of Theorem 1.
+
+StackGreedyMR is this exact pipeline with ``strategy="greedy"`` (the
+maximal-matching marking stage proposes the heaviest edges instead of
+uniform-random ones); ``strategy="weighted"`` gives the third variant
+mentioned in §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..graph.bipartite import Graph
+from ..graph.edges import EdgeKey, edge_key
+from ..mapreduce import KeyValue, MapReduceJob, MapReduceRuntime
+from ..mapreduce.errors import RoundLimitExceeded
+from .maximal_mr import mm_records_from_adjacency, mr_maximal_b_matching
+from .stack import COVERAGE_TOLERANCE, layer_capacities
+from .types import Matching, MatchingResult
+
+__all__ = ["stack_mr_b_matching", "StackNode", "PopNode"]
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class StackNode:
+    """Push-phase node record: original budget, dual, and live edges."""
+
+    b: int
+    y: float
+    adj: Dict[str, float]
+    stacked_now: FrozenSet[str] = _EMPTY
+
+
+@dataclass(frozen=True)
+class PopNode:
+    """Pop-phase node record: residual budget and stacked edges by level."""
+
+    residual: int
+    stacked: Dict[str, Tuple[int, float]]
+
+
+class _UpdateJob(MapReduceJob):
+    """Raise duals across the freshly stacked layer (push step 2)."""
+
+    name = "stack-update"
+
+    def map(self, node: str, state: StackNode) -> Iterable[KeyValue]:
+        yield node, ("self", state)
+        ratio = state.y / state.b
+        for neighbor in state.stacked_now:
+            yield neighbor, ("ratio", node, ratio)
+
+    def reduce(self, node, values: List) -> Iterable[KeyValue]:
+        if isinstance(node, tuple):
+            yield node, values[0]
+            return
+        state: Optional[StackNode] = None
+        ratios: Dict[str, float] = {}
+        for value in values:
+            if value[0] == "self":
+                state = value[1]
+            else:
+                _, neighbor, ratio = value
+                ratios[neighbor] = ratio
+        assert state is not None, "push-phase records never vanish"
+        my_ratio = state.y / state.b
+        increment = 0.0
+        for neighbor in state.stacked_now:
+            weight = state.adj[neighbor]
+            delta = (weight - ratios[neighbor] - my_ratio) / 2.0
+            increment += delta
+            if node < neighbor:
+                yield ("delta", node, neighbor), delta
+        new_adj = {
+            nbr: w
+            for nbr, w in state.adj.items()
+            if nbr not in state.stacked_now
+        }
+        yield node, StackNode(
+            b=state.b, y=state.y + increment, adj=new_adj
+        )
+
+
+class _CoverageJob(MapReduceJob):
+    """Delete weakly covered edges under the new duals (push step 3)."""
+
+    name = "stack-coverage"
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__()
+        self.threshold_factor = 1.0 / (3.0 + 2.0 * epsilon)
+
+    def map(self, node: str, state: StackNode) -> Iterable[KeyValue]:
+        yield node, ("self", state)
+        ratio = state.y / state.b
+        for neighbor in state.adj:
+            yield neighbor, ("ratio", node, ratio)
+
+    def reduce(self, node: str, values: List) -> Iterable[KeyValue]:
+        state: Optional[StackNode] = None
+        ratios: Dict[str, float] = {}
+        for value in values:
+            if value[0] == "self":
+                state = value[1]
+            else:
+                _, neighbor, ratio = value
+                ratios[neighbor] = ratio
+        assert state is not None, "push-phase records never vanish"
+        my_ratio = state.y / state.b
+        new_adj: Dict[str, float] = {}
+        for neighbor, weight in state.adj.items():
+            coverage = my_ratio + ratios[neighbor]
+            if (
+                coverage
+                < self.threshold_factor * weight - COVERAGE_TOLERANCE
+            ):
+                new_adj[neighbor] = weight
+        yield node, StackNode(b=state.b, y=state.y, adj=new_adj)
+
+
+class _PopLayerJob(MapReduceJob):
+    """Pop one stack layer into the solution (Algorithm 2's pop loop)."""
+
+    name = "stack-pop"
+
+    def __init__(self, level: int) -> None:
+        super().__init__()
+        self.level = level
+
+    def map(self, node: str, state: PopNode) -> Iterable[KeyValue]:
+        yield node, ("self", state)
+        for neighbor, (level, _) in state.stacked.items():
+            if level == self.level:
+                yield neighbor, ("inc", node)
+
+    def reduce(self, node: str, values: List) -> Iterable[KeyValue]:
+        state: Optional[PopNode] = None
+        confirmations = set()
+        for value in values:
+            if value[0] == "self":
+                state = value[1]
+            else:
+                confirmations.add(value[1])
+        if state is None:
+            return  # node died in a higher layer; ignore stray messages
+        included: List[Tuple[str, float]] = []
+        new_stacked: Dict[str, Tuple[int, float]] = {}
+        for neighbor, (level, weight) in state.stacked.items():
+            if level == self.level:
+                if neighbor in confirmations:
+                    included.append((neighbor, weight))
+                # else: the neighbor died earlier -> the edge is gone
+            else:
+                new_stacked[neighbor] = (level, weight)
+        for neighbor, weight in included:
+            if node < neighbor:
+                yield ("matched", node, neighbor), weight
+        residual = state.residual - len(included)
+        if residual > 0 and new_stacked:
+            yield node, PopNode(residual=residual, stacked=new_stacked)
+
+
+def stack_mr_b_matching(
+    graph: Graph,
+    epsilon: float = 1.0,
+    seed: int = 0,
+    strategy: str = "uniform",
+    runtime: Optional[MapReduceRuntime] = None,
+    max_push_rounds: int = 10_000,
+    max_inner_rounds: int = 10_000,
+) -> MatchingResult:
+    """Run StackMR on ``graph`` through the MapReduce simulator.
+
+    Parameters mirror :func:`repro.matching.stack.stack_b_matching`;
+    ``strategy="greedy"`` yields StackGreedyMR.  The returned result
+    carries the dual variables, the certified dual upper bound
+    ``(3+2ε)·Σy_v``, the number of stack layers, and the number of
+    simulated MapReduce jobs (the paper's efficiency metric).
+    """
+    runtime = runtime or MapReduceRuntime()
+    jobs_before = runtime.jobs_executed
+    capacities = graph.capacities()
+    caps_layer = layer_capacities(capacities, epsilon)
+
+    states: Dict[str, StackNode] = {}
+    for node in sorted(capacities):
+        if capacities[node] <= 0:
+            continue
+        adj = {
+            nbr: w
+            for nbr, w in graph.incident(node)
+            if capacities.get(nbr, 0) > 0
+        }
+        states[node] = StackNode(b=capacities[node], y=0.0, adj=adj)
+
+    layers: List[Dict[EdgeKey, float]] = []
+    deltas: Dict[EdgeKey, float] = {}
+    push_rounds = 0
+    update_job = _UpdateJob()
+    coverage_job = _CoverageJob(epsilon)
+
+    while True:
+        live_edges = sum(len(state.adj) for state in states.values())
+        if live_edges == 0:
+            break
+        if push_rounds >= max_push_rounds:
+            raise RoundLimitExceeded("stack-mr-push", max_push_rounds)
+        mm_records = mm_records_from_adjacency(
+            {node: state.adj for node, state in states.items()},
+            caps_layer,
+        )
+        matched, _ = mr_maximal_b_matching(
+            mm_records,
+            runtime,
+            seed=seed,
+            strategy=strategy,
+            round_offset=push_rounds * max_inner_rounds,
+            max_rounds=max_inner_rounds,
+        )
+        layers.append(matched)
+        stacked_by_node: Dict[str, set] = {}
+        for u, v in matched:
+            stacked_by_node.setdefault(u, set()).add(v)
+            stacked_by_node.setdefault(v, set()).add(u)
+        update_records: List[KeyValue] = [
+            (
+                node,
+                StackNode(
+                    b=state.b,
+                    y=state.y,
+                    adj=state.adj,
+                    stacked_now=frozenset(
+                        stacked_by_node.get(node, ())
+                    ),
+                ),
+            )
+            for node, state in sorted(states.items())
+        ]
+        updated = runtime.run(update_job, update_records)
+        states = {}
+        for key, value in updated:
+            if isinstance(key, tuple) and key[0] == "delta":
+                deltas[edge_key(key[1], key[2])] = value
+            else:
+                states[key] = value
+        covered = runtime.run(
+            coverage_job, sorted(states.items())
+        )
+        states = dict(covered)
+        push_rounds += 1
+
+    duals = {node: state.y for node, state in states.items()}
+    upper_bound = (3.0 + 2.0 * epsilon) * sum(duals.values())
+
+    # ---- pop phase: one job per layer, from the top of the stack ----
+    stacked_edges: Dict[str, Dict[str, Tuple[int, float]]] = {}
+    for level, layer in enumerate(layers):
+        for (u, v), weight in layer.items():
+            stacked_edges.setdefault(u, {})[v] = (level, weight)
+            stacked_edges.setdefault(v, {})[u] = (level, weight)
+    pop_records: List[KeyValue] = [
+        (node, PopNode(residual=capacities[node], stacked=stacked))
+        for node, stacked in sorted(stacked_edges.items())
+    ]
+    matching = Matching()
+    for level in range(len(layers) - 1, -1, -1):
+        output = runtime.run(_PopLayerJob(level), pop_records)
+        pop_records = []
+        for key, value in output:
+            if isinstance(key, tuple) and key[0] == "matched":
+                matching.add(key[1], key[2], value)
+            else:
+                pop_records.append((key, value))
+
+    name = "StackMR" if strategy == "uniform" else (
+        "StackGreedyMR" if strategy == "greedy" else "StackWeightedMR"
+    )
+    return MatchingResult(
+        matching=matching,
+        algorithm=name,
+        rounds=push_rounds + len(layers),
+        mr_jobs=runtime.jobs_executed - jobs_before,
+        value_history=[matching.value],
+        duals=duals,
+        dual_upper_bound=upper_bound,
+        layers=len(layers),
+    )

@@ -1,0 +1,116 @@
+"""Centralized reference implementations of the bipartite similarity join.
+
+Two exact engines:
+
+* :func:`exact_similarity_join` — term-at-a-time score accumulation over
+  an inverted index of the consumer collection; pure Python, the test
+  oracle for the MapReduce join.
+* :func:`scipy_similarity_join` — blocked sparse matrix multiplication
+  (CSR), used by the dataset builders at benchmark scale.
+
+Both return exactly the pairs ``(item, consumer, dot)`` with
+``dot >= sigma``, sorted for determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["exact_similarity_join", "scipy_similarity_join"]
+
+JoinRow = Tuple[str, str, float]
+
+
+def exact_similarity_join(
+    items: Mapping[str, Mapping[str, float]],
+    consumers: Mapping[str, Mapping[str, float]],
+    sigma: float,
+) -> List[JoinRow]:
+    """All cross-side pairs with dot product at least ``sigma``.
+
+    Builds an inverted index over consumers, then accumulates each
+    item's scores term-at-a-time — exact, no pruning.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    postings: Dict[str, List[Tuple[str, float]]] = {}
+    for consumer, vector in consumers.items():
+        for term, weight in vector.items():
+            postings.setdefault(term, []).append((consumer, weight))
+    rows: List[JoinRow] = []
+    for item, vector in items.items():
+        scores: Dict[str, float] = {}
+        for term, weight in vector.items():
+            for consumer, consumer_weight in postings.get(term, ()):
+                scores[consumer] = (
+                    scores.get(consumer, 0.0) + weight * consumer_weight
+                )
+        for consumer, score in scores.items():
+            if score >= sigma:
+                rows.append((item, consumer, score))
+    rows.sort()
+    return rows
+
+
+def scipy_similarity_join(
+    items: Mapping[str, Mapping[str, float]],
+    consumers: Mapping[str, Mapping[str, float]],
+    sigma: float,
+    block_size: int = 4096,
+) -> List[JoinRow]:
+    """Exact join via blocked sparse matrix multiplication.
+
+    Equivalent to :func:`exact_similarity_join` (cross-checked in the
+    tests) but orders of magnitude faster at dataset scale.  Items are
+    processed in row blocks of ``block_size`` to bound the memory of the
+    intermediate product.
+    """
+    import numpy as np
+    from scipy import sparse
+
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    item_ids = sorted(items)
+    consumer_ids = sorted(consumers)
+    if not item_ids or not consumer_ids:
+        return []
+    vocabulary: Dict[str, int] = {}
+    for collection in (items, consumers):
+        for vector in collection.values():
+            for term in vector:
+                vocabulary.setdefault(term, len(vocabulary))
+
+    def to_csr(ids: List[str], table: Mapping[str, Mapping[str, float]]):
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for doc in ids:
+            vector = table[doc]
+            for term, weight in vector.items():
+                indices.append(vocabulary[term])
+                data.append(weight)
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                np.asarray(indices, dtype=np.int64),
+                np.asarray(indptr, dtype=np.int64),
+            ),
+            shape=(len(ids), len(vocabulary)),
+        )
+
+    item_matrix = to_csr(item_ids, items)
+    consumer_matrix = to_csr(consumer_ids, consumers).T.tocsc()
+    rows: List[JoinRow] = []
+    for start in range(0, len(item_ids), block_size):
+        block = item_matrix[start : start + block_size]
+        product = (block @ consumer_matrix).tocoo()
+        keep = product.data >= sigma
+        for r, c, value in zip(
+            product.row[keep], product.col[keep], product.data[keep]
+        ):
+            rows.append(
+                (item_ids[start + int(r)], consumer_ids[int(c)], float(value))
+            )
+    rows.sort()
+    return rows

@@ -1,0 +1,36 @@
+"""Collection statistics used by prefix filtering.
+
+The pruned inverted index of Baraglia et al. needs, for every term, an
+upper bound on the weight that term can contribute in the *other*
+collection; :func:`max_term_weights` computes those bounds (and document
+frequencies for diagnostics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+__all__ = ["max_term_weights", "document_frequencies_of"]
+
+
+def max_term_weights(
+    vectors: Iterable[Mapping[str, float]],
+) -> Dict[str, float]:
+    """Per-term maximum weight over a collection of sparse vectors."""
+    bounds: Dict[str, float] = {}
+    for vector in vectors:
+        for term, weight in vector.items():
+            if weight > bounds.get(term, 0.0):
+                bounds[term] = weight
+    return bounds
+
+
+def document_frequencies_of(
+    vectors: Iterable[Mapping[str, float]],
+) -> Dict[str, int]:
+    """Per-term document frequency over a collection of sparse vectors."""
+    df: Dict[str, int] = {}
+    for vector in vectors:
+        for term in vector:
+            df[term] = df.get(term, 0) + 1
+    return df

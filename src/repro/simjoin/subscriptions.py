@@ -1,0 +1,89 @@
+"""Subscription-restricted candidate edges (§4, "Candidate edges").
+
+The paper's alternative to threshold pruning: "in social-networking
+sites it is common for consumers to subscribe to suppliers they are
+interested in.  In such an application, we restrict to candidate edges
+(t_i, c_j) for which t_i has been created by a producer to whom c_j has
+subscribed."
+
+Two entry points:
+
+* :func:`filter_by_subscription` — post-filter an existing candidate
+  edge list (composes with any join engine, including the MapReduce
+  one);
+* :func:`subscription_join` — compute the candidate edges directly by
+  enumerating each consumer's subscribed producers' items, which never
+  materializes unsubscribed pairs (the efficient path when follow
+  lists are short).
+
+Both produce identical edge sets (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from ..text.vectors import dot
+
+__all__ = ["filter_by_subscription", "subscription_join"]
+
+JoinRow = Tuple[str, str, float]
+
+
+def filter_by_subscription(
+    edges: Iterable[JoinRow],
+    item_owner: Mapping[str, str],
+    subscriptions: Mapping[str, Set[str]],
+) -> List[JoinRow]:
+    """Keep only edges whose item's owner the consumer follows.
+
+    ``item_owner`` maps item -> producer; ``subscriptions`` maps
+    consumer -> set of producers followed.  Items without a recorded
+    owner and consumers without subscriptions yield no edges.
+    """
+    kept: List[JoinRow] = []
+    for item, consumer, weight in edges:
+        owner = item_owner.get(item)
+        if owner is not None and owner in subscriptions.get(
+            consumer, ()
+        ):
+            kept.append((item, consumer, weight))
+    kept.sort()
+    return kept
+
+
+def subscription_join(
+    items: Mapping[str, Mapping[str, float]],
+    consumers: Mapping[str, Mapping[str, float]],
+    item_owner: Mapping[str, str],
+    subscriptions: Mapping[str, Set[str]],
+    sigma: float = 0.0,
+) -> List[JoinRow]:
+    """Candidate edges over subscribed pairs only.
+
+    Enumerates consumer × followed-producer × producer's-items, so the
+    cost is proportional to the realized follow graph rather than
+    ``|T|·|C|``.  ``sigma`` optionally also applies the §4 weight
+    threshold on top of the subscription restriction (with the default
+    ``0.0``, any positive-similarity subscribed pair qualifies).
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    items_of_owner: Dict[str, List[str]] = {}
+    for item, owner in item_owner.items():
+        items_of_owner.setdefault(owner, []).append(item)
+    rows: List[JoinRow] = []
+    for consumer, followed in subscriptions.items():
+        consumer_vector = consumers.get(consumer)
+        if not consumer_vector:
+            continue
+        for owner in followed:
+            for item in items_of_owner.get(owner, ()):
+                item_vector = items.get(item)
+                if not item_vector:
+                    continue
+                weight = dot(item_vector, consumer_vector)
+                if weight > 0 and weight >= sigma:
+                    rows.append((item, consumer, weight))
+    rows.sort()
+    return rows

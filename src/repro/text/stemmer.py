@@ -1,0 +1,171 @@
+"""A Porter-style suffix-stripping stemmer.
+
+Implements the high-impact subset of Porter's algorithm (steps 1a, 1b,
+1c and the most common step-2/3/4 suffix mappings).  It conflates the
+inflectional variants that matter for tf·idf similarity (plurals,
+-ing/-ed forms, -ation/-ize derivations) while staying small and fully
+deterministic.  The goal is the paper's "stem words" preprocessing step,
+not linguistic perfection.
+"""
+
+from __future__ import annotations
+
+__all__ = ["stem"]
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    ch = word[index]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem_part: str) -> int:
+    """Porter's *m*: the number of vowel-consonant sequences."""
+    m = 0
+    previous_was_vowel = False
+    for index in range(len(stem_part)):
+        consonant = _is_consonant(stem_part, index)
+        if consonant and previous_was_vowel:
+            m += 1
+        previous_was_vowel = not consonant
+    return m
+
+
+def _contains_vowel(stem_part: str) -> bool:
+    return any(
+        not _is_consonant(stem_part, index)
+        for index in range(len(stem_part))
+    )
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+# Step 2/3 mappings (applied first): (suffix, replacement, min measure).
+_STEP23_RULES = (
+    ("ational", "ate", 0),
+    ("ization", "ize", 0),
+    ("iveness", "ive", 0),
+    ("fulness", "ful", 0),
+    ("ousness", "ous", 0),
+    ("tional", "tion", 0),
+    ("biliti", "ble", 0),
+    ("entli", "ent", 0),
+    ("ousli", "ous", 0),
+    ("ation", "ate", 0),
+    ("alism", "al", 0),
+    ("aliti", "al", 0),
+    ("iviti", "ive", 0),
+    ("alli", "al", 0),
+    ("ical", "ic", 0),
+    ("ness", "", 0),
+    ("izer", "ize", 0),
+    ("ator", "ate", 0),
+    ("ful", "", 0),
+)
+
+# Step 4 strips (applied second, on the step-2/3 output): longer stems
+# only (min measure 1, i.e. Porter's m > 1 counted on the remainder).
+_STEP4_RULES = (
+    ("ement", "", 1),
+    ("ment", "", 1),
+    ("able", "", 1),
+    ("ible", "", 1),
+    ("ance", "", 1),
+    ("ence", "", 1),
+    ("ous", "", 1),
+    ("ive", "", 1),
+    ("ize", "", 1),
+    ("ion", "", 1),
+    ("ate", "", 1),
+    ("iti", "", 1),
+    ("al", "", 1),
+    ("er", "", 1),
+    ("ic", "", 1),
+)
+
+
+def stem(word: str) -> str:
+    """Return the stem of ``word`` (assumed lowercase alphanumeric)."""
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _apply_rules(word, _STEP23_RULES)
+    word = _apply_rules(word, _STEP4_RULES)
+    return word
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s") and len(word) > 3:
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        if _measure(word[:-3]) > 0:
+            return word[:-1]
+        return word
+    stripped = None
+    if word.endswith("ed") and _contains_vowel(word[:-2]):
+        stripped = word[:-2]
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        stripped = word[:-3]
+    if stripped is None:
+        return word
+    if stripped.endswith(("at", "bl", "iz")):
+        return stripped + "e"
+    if _ends_double_consonant(stripped) and not stripped.endswith(
+        ("l", "s", "z")
+    ):
+        return stripped[:-1]
+    if _measure(stripped) == 1 and _ends_cvc(stripped):
+        return stripped + "e"
+    return stripped
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+def _apply_rules(word: str, rules) -> str:
+    """Apply the first matching suffix rule of one step (or none)."""
+    for suffix, replacement, min_measure in rules:
+        if word.endswith(suffix):
+            stem_part = word[: -len(suffix)]
+            if _measure(stem_part) > min_measure:
+                return stem_part + replacement
+            return word
+    return word

@@ -1,0 +1,53 @@
+"""Tokenization and stop-word removal for the Yahoo! Answers pipeline.
+
+Section 6 of the paper: "We preprocess the answers to remove punctuation
+and stop-words, stem words, and apply tf·idf weighting."  This module
+implements the first two steps; stemming lives in
+:mod:`repro.text.stemmer` and weighting in :mod:`repro.text.tfidf`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List
+
+__all__ = ["STOP_WORDS", "tokenize", "remove_stop_words"]
+
+# A compact English stop-word list (the top function words); enough to
+# reproduce the preprocessing effect without shipping a lexicon.
+STOP_WORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are as at be
+    because been before being below between both but by cannot could did
+    do does doing down during each few for from further had has have
+    having he her here hers herself him himself his how i if in into is
+    it its itself just me more most my myself no nor not now of off on
+    once only or other our ours ourselves out over own same she should
+    so some such than that the their theirs them themselves then there
+    these they this those through to too under until up very was we were
+    what when where which while who whom why will with you your yours
+    yourself yourselves
+    """.split()
+)
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase ``text`` and split it into alphanumeric tokens.
+
+    Punctuation is discarded (it separates tokens), matching the paper's
+    "remove punctuation" step.
+    """
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def remove_stop_words(
+    tokens: Iterable[str], stop_words: FrozenSet[str] = STOP_WORDS
+) -> List[str]:
+    """Drop stop-words (and single characters) from a token stream."""
+    return [
+        token
+        for token in tokens
+        if len(token) > 1 and token not in stop_words
+    ]

@@ -1,0 +1,79 @@
+"""Sparse term vectors and their algebra.
+
+Items and consumers are represented in a vector space (§4 of the paper):
+photos by their tags, users by the tags they used, questions/answerers by
+tf·idf-weighted words.  A vector is a plain ``dict`` from term to weight —
+trivially serializable through the MapReduce shuffle.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, Mapping
+
+__all__ = [
+    "TermVector",
+    "from_counts",
+    "dot",
+    "norm",
+    "normalize",
+    "add",
+    "scale",
+    "top_terms",
+]
+
+#: A sparse term vector: term -> non-negative weight.
+TermVector = Dict[str, float]
+
+
+def from_counts(terms: Iterable[str]) -> TermVector:
+    """Build a raw term-frequency vector from a token stream."""
+    return {term: float(count) for term, count in Counter(terms).items()}
+
+
+def dot(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Dot product of two sparse vectors.
+
+    This is the paper's edge-weight function for the flickr datasets:
+    ``w(t_i, c_j) = v(t_i) · v(c_j)``.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    return sum(weight * b[term] for term, weight in a.items() if term in b)
+
+
+def norm(vector: Mapping[str, float]) -> float:
+    """Euclidean norm of a sparse vector."""
+    return math.sqrt(sum(weight * weight for weight in vector.values()))
+
+
+def normalize(vector: Mapping[str, float]) -> TermVector:
+    """Scale a vector to unit Euclidean norm (zero vectors stay zero)."""
+    length = norm(vector)
+    if length == 0.0:
+        return dict(vector)
+    return {term: weight / length for term, weight in vector.items()}
+
+
+def add(a: Mapping[str, float], b: Mapping[str, float]) -> TermVector:
+    """Component-wise sum of two sparse vectors."""
+    result: TermVector = dict(a)
+    for term, weight in b.items():
+        result[term] = result.get(term, 0.0) + weight
+    return result
+
+
+def scale(vector: Mapping[str, float], factor: float) -> TermVector:
+    """Multiply every component by ``factor``."""
+    return {term: weight * factor for term, weight in vector.items()}
+
+
+def top_terms(vector: Mapping[str, float], k: int) -> TermVector:
+    """Keep only the ``k`` heaviest terms (ties broken by term)."""
+    if k >= len(vector):
+        return dict(vector)
+    heaviest = sorted(
+        vector.items(), key=lambda item: (-item[1], item[0])
+    )[:k]
+    return dict(heaviest)

@@ -1,0 +1,43 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.mapreduce import Counters, MapReduceRuntime
+
+# One moderate default profile: property tests are plentiful, so each
+# keeps a modest example budget to bound total suite time.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def runtime() -> MapReduceRuntime:
+    """A default 4x4 simulated cluster with fresh counters."""
+    return MapReduceRuntime(
+        num_map_tasks=4, num_reduce_tasks=4, counters=Counters()
+    )
+
+
+@pytest.fixture
+def single_task_runtime() -> MapReduceRuntime:
+    """A 1x1 cluster — used to check task-count independence."""
+    return MapReduceRuntime(
+        num_map_tasks=1, num_reduce_tasks=1, counters=Counters()
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded RNG for deterministic randomized tests."""
+    return random.Random(0xC0FFEE)

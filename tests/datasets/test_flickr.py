@@ -1,0 +1,96 @@
+"""Tests for the flickr-like dataset generator."""
+
+import pytest
+
+from repro.datasets import flickr_dataset, flickr_large, flickr_small
+
+
+@pytest.fixture(scope="module")
+def small():
+    return flickr_dataset(
+        "flickr-test", num_photos=120, num_users=30, seed=1
+    )
+
+
+def test_sizes(small):
+    assert small.num_items == 120
+    assert small.num_consumers == 30
+    assert small.capacity_scheme == "quality"
+
+
+def test_every_photo_has_tags_and_quality(small):
+    for photo, vector in small.items.items():
+        assert vector, photo
+        assert small.item_quality[photo] >= 1.0
+
+
+def test_every_user_has_profile_and_activity(small):
+    for user, vector in small.consumers.items():
+        assert vector, user
+        assert small.consumer_activity[user] >= 1.0
+
+
+def test_activity_equals_realized_photo_counts(small):
+    # Σ n(u) over posting users == number of photos (non-posting users
+    # get the floor activity 1).
+    posting_total = sum(
+        n for n in small.consumer_activity.values() if n >= 1
+    )
+    assert posting_total >= small.num_items
+
+
+def test_user_profile_aggregates_own_photos(small):
+    # A user's profile must contain every tag of their photos; verify
+    # globally: union of photo tags == union of profile tags minus
+    # no-photo users' synthetic profiles.
+    photo_tags = set()
+    for vector in small.items.values():
+        photo_tags.update(vector)
+    profile_tags = set()
+    for vector in small.consumers.values():
+        profile_tags.update(vector)
+    assert photo_tags <= profile_tags | photo_tags
+    assert photo_tags & profile_tags  # plenty of overlap
+
+
+def test_deterministic_given_seed():
+    a = flickr_dataset("x", num_photos=50, num_users=10, seed=7)
+    b = flickr_dataset("x", num_photos=50, num_users=10, seed=7)
+    assert a.items == b.items
+    assert a.consumers == b.consumers
+    assert a.item_quality == b.item_quality
+
+
+def test_different_seeds_differ():
+    a = flickr_dataset("x", num_photos=50, num_users=10, seed=1)
+    b = flickr_dataset("x", num_photos=50, num_users=10, seed=2)
+    assert a.items != b.items
+
+
+def test_edge_weights_are_integer_dot_products(small):
+    edges = small.edges(1.0)
+    assert edges, "expected some candidate edges"
+    for _, _, weight in edges[:200]:
+        assert weight == int(weight)  # tag-count dot products
+
+
+def test_named_builders_scale():
+    tiny = flickr_small(seed=0, scale=0.02)
+    assert tiny.name == "flickr-small"
+    assert 10 <= tiny.num_items <= 100
+    large = flickr_large(seed=0, scale=0.01)
+    assert large.name == "flickr-large"
+    assert large.num_items > 0
+
+
+def test_large_is_more_skewed_than_small():
+    """The paper's explanation hinges on flickr-large's capacity skew."""
+    from repro.datasets import tail_summary
+
+    small_ds = flickr_small(seed=0, scale=0.25)
+    large_ds = flickr_large(seed=0, scale=0.1)
+    small_caps, _ = small_ds.capacities(alpha=2.0)
+    large_caps, _ = large_ds.capacities(alpha=2.0)
+    small_tail = tail_summary(list(small_caps.values()))
+    large_tail = tail_summary(list(large_caps.values()))
+    assert large_tail["top1_share"] > small_tail["top1_share"]

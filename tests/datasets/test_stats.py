@@ -1,0 +1,63 @@
+"""Tests for the distribution statistics (Figures 6-7 machinery)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets import log_histogram, tail_summary
+
+
+def test_log_histogram_counts_everything():
+    values = [1, 2, 4, 8, 16, 32, 64]
+    histogram = log_histogram(values, num_bins=6)
+    assert histogram.count == 7
+    assert sum(count for _, _, count in histogram.bins) == 7
+    assert histogram.maximum == 64
+    assert histogram.mean == pytest.approx(sum(values) / 7)
+
+
+def test_log_histogram_ignores_nonpositive():
+    histogram = log_histogram([0, -1, 5.0])
+    assert histogram.count == 1
+
+
+def test_log_histogram_degenerate_cases():
+    assert log_histogram([]).count == 0
+    single = log_histogram([3.0, 3.0])
+    assert single.count == 2
+    assert single.bins == [(3.0, 3.0, 2)]
+
+
+def test_log_histogram_rows_render():
+    rows = log_histogram([1.0, 10.0], num_bins=2).rows()
+    assert len(rows) == 2
+    assert all(isinstance(label, str) for label, _ in rows)
+
+
+@given(
+    values=st.lists(
+        st.floats(0.001, 1e6, allow_nan=False), min_size=1, max_size=200
+    )
+)
+def test_log_histogram_partitions_sample(values):
+    histogram = log_histogram(values)
+    assert sum(count for _, _, count in histogram.bins) == len(values)
+
+
+def test_tail_summary_quantiles():
+    summary = tail_summary(list(range(1, 101)))
+    assert summary["min"] == 1
+    assert summary["max"] == 100
+    assert summary["p50"] == 51
+    assert summary["mean"] == pytest.approx(50.5)
+    assert 0 < summary["top1_share"] < 1
+
+
+def test_tail_summary_empty():
+    assert tail_summary([]) == {}
+
+
+def test_tail_summary_skew_ordering():
+    flat = tail_summary([1.0] * 100)
+    skewed = tail_summary([1.0] * 99 + [1000.0])
+    assert skewed["top1_share"] > flat["top1_share"]

@@ -1,0 +1,61 @@
+"""Tests for the yahoo-answers-like dataset generator."""
+
+import pytest
+
+from repro.datasets import yahoo_answers, yahoo_answers_dataset
+
+
+@pytest.fixture(scope="module")
+def small():
+    return yahoo_answers_dataset(
+        "ya-test", num_questions=80, num_users=25, seed=3
+    )
+
+
+def test_sizes_and_scheme(small):
+    assert small.num_items == 80
+    assert small.num_consumers == 25
+    assert small.capacity_scheme == "uniform"
+    assert small.item_quality == {}
+
+
+def test_uniform_question_capacities(small):
+    item_caps, consumer_caps = small.capacities(alpha=1.0)
+    values = set(item_caps.values())
+    assert len(values) == 1  # b(q) constant across questions
+    bandwidth = sum(consumer_caps.values())
+    expected = max(1, round(bandwidth / small.num_items))
+    assert values == {expected}
+
+
+def test_tfidf_weights_are_floats_not_counts(small):
+    # tf-idf re-weighting should produce non-integer weights generally.
+    non_integer = 0
+    for vector in list(small.items.values())[:20]:
+        non_integer += any(w != int(w) for w in vector.values())
+    assert non_integer > 10
+
+
+def test_activity_is_power_law_with_floor(small):
+    activities = list(small.consumer_activity.values())
+    assert min(activities) >= 1
+    assert max(activities) > min(activities)
+
+
+def test_deterministic_given_seed():
+    a = yahoo_answers_dataset("x", num_questions=30, num_users=8, seed=5)
+    b = yahoo_answers_dataset("x", num_questions=30, num_users=8, seed=5)
+    assert a.items == b.items
+    assert a.consumer_activity == b.consumer_activity
+
+
+def test_named_builder():
+    ds = yahoo_answers(seed=0, scale=0.01)
+    assert ds.name == "yahoo-answers"
+    assert ds.num_items >= 10
+
+
+def test_candidate_edges_exist_at_moderate_sigma(small):
+    edges = small.edges(2.0)
+    assert edges
+    assert all(w >= 2.0 for _, _, w in edges)

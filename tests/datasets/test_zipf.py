@@ -1,0 +1,76 @@
+"""Tests for the heavy-tailed samplers."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets import ZipfSampler, discrete_power_law
+
+
+def test_zipf_validates_arguments():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(5, exponent=0.0)
+
+
+def test_zipf_single_rank():
+    sampler = ZipfSampler(1)
+    assert sampler.sample(random.Random(0)) == 0
+
+
+def test_zipf_ranks_in_range():
+    sampler = ZipfSampler(50, 1.1)
+    rng = random.Random(1)
+    draws = sampler.sample_many(rng, 500)
+    assert all(0 <= r < 50 for r in draws)
+
+
+def test_zipf_rank_zero_most_frequent():
+    sampler = ZipfSampler(100, 1.2)
+    rng = random.Random(2)
+    counts = Counter(sampler.sample_many(rng, 5000))
+    assert counts[0] == max(counts.values())
+    # monotone-ish decay between head ranks
+    assert counts[0] > counts.get(10, 0) > counts.get(90, 0) - 50
+
+
+def test_zipf_deterministic_given_seed():
+    sampler = ZipfSampler(30, 1.1)
+    a = sampler.sample_many(random.Random(9), 50)
+    b = sampler.sample_many(random.Random(9), 50)
+    assert a == b
+
+
+def test_power_law_validates_arguments():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        discrete_power_law(rng, exponent=1.0)
+    with pytest.raises(ValueError):
+        discrete_power_law(rng, exponent=2.0, minimum=0)
+
+
+@given(
+    seed=st.integers(0, 100),
+    exponent=st.floats(1.2, 4.0, allow_nan=False),
+    minimum=st.integers(1, 5),
+)
+def test_power_law_respects_bounds(seed, exponent, minimum):
+    rng = random.Random(seed)
+    value = discrete_power_law(
+        rng, exponent=exponent, minimum=minimum, maximum=1000
+    )
+    assert minimum <= value <= 1000
+
+
+def test_power_law_has_heavy_tail():
+    rng = random.Random(3)
+    draws = [
+        discrete_power_law(rng, exponent=1.8, maximum=10_000)
+        for _ in range(3000)
+    ]
+    assert max(draws) > 20  # some big values appear
+    assert sorted(draws)[len(draws) // 2] <= 3  # median stays small

@@ -1,0 +1,80 @@
+"""Smoke tests for the figure experiments at tiny scale."""
+
+import pytest
+
+from repro.experiments import (
+    anytime_experiment,
+    capacity_distribution_experiment,
+    similarity_distribution_experiment,
+    table1_experiment,
+    value_iterations_experiment,
+    violations_experiment,
+)
+
+SCALE = 0.1  # multiplies the already-small per-figure defaults
+
+
+def test_table1(capsys):
+    rows, text = table1_experiment(scale_multiplier=SCALE, seed=0)
+    assert len(rows) == 3
+    assert "flickr-small" in text
+    for row in rows:
+        assert row["|T| measured"] > 0
+        assert row["|E| measured"] > 0
+        assert row["|E| paper"] > 0
+
+
+def test_figure1_rows_and_checks():
+    outcome, text = value_iterations_experiment(
+        "fig1", scale_multiplier=SCALE, seed=0
+    )
+    assert outcome.rows
+    assert "Figure 1" in text
+    assert "GreedyMR" in text
+    assert "[PASS]" in text
+
+
+def test_figure4_violations():
+    outcomes, text = violations_experiment(
+        scale_multiplier=SCALE, seed=0
+    )
+    assert outcomes[0].rows
+    assert "Figure 4" in text
+    for row in outcomes[0].rows:
+        assert row.algorithm == "StackMR"
+        assert row.avg_violation >= 0.0
+
+
+def test_figure5_anytime():
+    rows, text = anytime_experiment(scale_multiplier=SCALE, seed=0)
+    assert len(rows) == 3
+    assert "Figure 5" in text
+    for row in rows:
+        assert 0 < row["fraction measured"] <= 1.0
+        assert row["iterations"] >= 1
+
+
+def test_figure6_similarity_distributions():
+    data, text = similarity_distribution_experiment(
+        scale_multiplier=SCALE, seed=0
+    )
+    assert set(data) == {
+        "flickr-small",
+        "flickr-large",
+        "yahoo-answers",
+    }
+    assert "Figure 6" in text
+    for entry in data.values():
+        assert entry["histogram"].count > 0
+        assert entry["summary"]["max"] >= entry["summary"]["p50"]
+
+
+def test_figure7_capacity_distributions():
+    data, text = capacity_distribution_experiment(
+        scale_multiplier=SCALE, seed=0
+    )
+    assert "Figure 7" in text
+    ya = data["yahoo-answers"]["items"]["summary"]
+    assert ya["min"] == ya["max"]  # constant question capacity
+    fl = data["flickr-large"]["items"]["summary"]
+    assert fl["max"] > fl["p50"]  # skew

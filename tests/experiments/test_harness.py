@@ -1,0 +1,69 @@
+"""Tests for the sweep harness (tiny scales for speed)."""
+
+import pytest
+
+from repro.experiments import SweepSpec, run_sweep, sigma_grid
+from repro.datasets import load_dataset
+
+TINY = SweepSpec(
+    dataset="flickr-small",
+    scale=0.03,
+    floor_sigma=1.0,
+    edge_fractions=(0.2, 0.6),
+    alphas=(2.0,),
+    epsilon=1.0,
+    algorithms=("greedy_mr", "stack_mr"),
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_sweep(TINY, seed=0)
+
+
+def test_sigma_grid_hits_requested_fractions():
+    dataset = load_dataset("flickr-small", seed=0, scale=0.03)
+    total = len(dataset.edges(1.0))
+    sigmas = sigma_grid(dataset, (0.2, 0.6), 1.0)
+    assert len(sigmas) >= 1
+    for sigma, fraction in zip(sigmas, sorted((0.2, 0.6))):
+        count = len(dataset.edges(sigma))
+        assert count >= fraction * total * 0.5  # quantile inversion
+
+
+def test_sweep_produces_rows_for_every_cell(outcome):
+    expected = len(outcome.sigmas) * len(TINY.alphas) * len(
+        TINY.algorithms
+    )
+    assert len(outcome.rows) == expected
+    algorithms = {row.algorithm for row in outcome.rows}
+    assert algorithms == {"GreedyMR", "StackMR"}
+
+
+def test_sweep_rows_have_metrics(outcome):
+    for row in outcome.rows:
+        assert row.value > 0
+        assert row.num_edges > 0
+        assert row.mr_jobs > 0
+        assert row.dataset == "flickr-small"
+
+
+def test_series_extraction(outcome):
+    xs, ys = outcome.series("GreedyMR", 2.0, "value")
+    assert len(xs) == len(outcome.sigmas)
+    assert xs == sorted(xs)
+    assert all(y > 0 for y in ys)
+
+
+def test_algorithm_kwargs_forwarded():
+    spec = SweepSpec(
+        dataset="flickr-small",
+        scale=0.03,
+        floor_sigma=1.0,
+        edge_fractions=(0.3,),
+        algorithms=("stack_mr",),
+    )
+    outcome = run_sweep(
+        spec, seed=0, algorithm_kwargs={"stack_mr": {"seed": 11}}
+    )
+    assert len(outcome.rows) == 1

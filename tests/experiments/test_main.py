@@ -1,0 +1,31 @@
+"""CLI smoke tests for python -m repro.experiments."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+def test_experiments_menu_complete():
+    assert set(EXPERIMENTS) == {
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+    }
+
+
+def test_main_runs_selected_experiment(capsys):
+    code = main(["--scale", "0.05", "--only", "table1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "completed in" in out
+
+
+def test_main_rejects_unknown_experiment(capsys):
+    with pytest.raises(SystemExit):
+        main(["--only", "fig99"])

@@ -1,0 +1,125 @@
+"""Tests for result rows and shape checks."""
+
+from repro.datasets import Dataset
+from repro.experiments import evaluate_checks, run_algorithm
+from repro.experiments.metrics import ResultRow
+from repro.graph import BipartiteGraph
+
+
+def tiny_graph() -> BipartiteGraph:
+    g = BipartiteGraph()
+    g.add_item("t1", 1)
+    g.add_item("t2", 1)
+    g.add_consumer("c1", 2)
+    g.add_edge("t1", "c1", 3.0)
+    g.add_edge("t2", "c1", 1.0)
+    return g
+
+
+def test_run_algorithm_collects_metrics():
+    row = run_algorithm(
+        "tiny", tiny_graph(), "greedy_mr", sigma=1.0, alpha=2.0
+    )
+    assert row.algorithm == "GreedyMR"
+    assert row.value == 4.0
+    assert row.feasible
+    assert row.mr_jobs == row.rounds > 0
+    assert row.num_edges == 2
+    assert row.wall_seconds >= 0
+    as_dict = row.as_dict()
+    assert as_dict["value"] == 4.0
+    assert as_dict["dataset"] == "tiny"
+
+
+def test_run_algorithm_passes_epsilon_to_stack():
+    row = run_algorithm(
+        "tiny", tiny_graph(), "stack_mr", sigma=1.0, alpha=2.0, epsilon=0.5
+    )
+    assert row.algorithm == "StackMR"
+    assert row.epsilon == 0.5
+    assert row.dual_upper_bound is not None
+
+
+def _row(algorithm, sigma, alpha, value, edges, violation=0.0):
+    return ResultRow(
+        dataset="d",
+        algorithm=algorithm,
+        sigma=sigma,
+        alpha=alpha,
+        epsilon=1.0,
+        num_edges=edges,
+        value=value,
+        rounds=1,
+        mr_jobs=1,
+        layers=0,
+        avg_violation=violation,
+        max_violation=violation,
+        feasible=violation == 0,
+        dual_upper_bound=None,
+        wall_seconds=0.0,
+        result=None,
+    )
+
+
+def test_greedy_vs_stack_check_passes_when_greedy_wins():
+    rows = [
+        _row("GreedyMR", 1.0, 2.0, 100.0, 10),
+        _row("StackMR", 1.0, 2.0, 80.0, 10),
+    ]
+    checks = evaluate_checks(rows)
+    greedy_check = [
+        c for c in checks if "GreedyMR value >= StackMR" in c.name
+    ]
+    assert greedy_check and greedy_check[0].passed
+
+
+def test_greedy_vs_stack_check_fails_when_stack_wins():
+    rows = [
+        _row("GreedyMR", 1.0, 2.0, 70.0, 10),
+        _row("StackMR", 1.0, 2.0, 80.0, 10),
+    ]
+    checks = evaluate_checks(rows)
+    greedy_check = [
+        c for c in checks if "GreedyMR value >= StackMR" in c.name
+    ]
+    assert greedy_check and not greedy_check[0].passed
+
+
+def test_monotonicity_check():
+    rows = [
+        _row("GreedyMR", 2.0, 2.0, 50.0, 5),
+        _row("GreedyMR", 1.0, 2.0, 100.0, 10),
+    ]
+    checks = evaluate_checks(rows)
+    monotone = [c for c in checks if "grows with edges" in c.name]
+    assert monotone and monotone[0].passed
+    rows[1] = _row("GreedyMR", 1.0, 2.0, 40.0, 10)
+    checks = evaluate_checks(rows)
+    monotone = [c for c in checks if "grows with edges" in c.name]
+    assert monotone and not monotone[0].passed
+
+
+def test_violation_check_threshold():
+    ok = _row("StackMR", 1.0, 2.0, 10.0, 5, violation=0.05)
+    bad = _row("StackMR", 1.0, 2.0, 10.0, 5, violation=0.5)
+    ok_checks = [
+        c
+        for c in evaluate_checks([ok])
+        if "violations small" in c.name
+    ]
+    bad_checks = [
+        c
+        for c in evaluate_checks([bad])
+        if "violations small" in c.name
+    ]
+    assert ok_checks[0].passed
+    assert not bad_checks[0].passed
+
+
+def test_check_line_format():
+    check = evaluate_checks(
+        [_row("StackMR", 1.0, 2.0, 10.0, 5)]
+    )[0]
+    assert check.line().startswith("[PASS]") or check.line().startswith(
+        "[FAIL]"
+    )

@@ -1,0 +1,106 @@
+"""End-to-end pipeline tests: dataset -> simjoin -> capacities -> matching.
+
+These exercise the same path as the paper's system: generate the corpus,
+compute candidate edges with the MapReduce similarity join, assign
+budgets with the §4 formulas, run every matching algorithm, and validate
+the outcome.
+"""
+
+import math
+
+import pytest
+
+from repro.datasets import flickr_dataset, yahoo_answers_dataset
+from repro.graph import BipartiteGraph, check_matching
+from repro.mapreduce import MapReduceRuntime
+from repro.matching import (
+    flow_b_matching,
+    greedy_b_matching,
+    greedy_mr_b_matching,
+    stack_mr_b_matching,
+)
+from repro.simjoin import exact_similarity_join, mapreduce_similarity_join
+
+
+@pytest.fixture(scope="module")
+def flickr():
+    return flickr_dataset(
+        "flickr-e2e", num_photos=90, num_users=25, seed=11
+    )
+
+
+@pytest.fixture(scope="module")
+def flickr_graph(flickr):
+    return flickr.graph(sigma=2.0, alpha=2.0)
+
+
+def test_mapreduce_join_agrees_with_exact_on_real_vectors(flickr):
+    runtime = MapReduceRuntime()
+    mr_rows = mapreduce_similarity_join(
+        flickr.items, flickr.consumers, 3.0, runtime=runtime
+    )
+    exact_rows = exact_similarity_join(
+        flickr.items, flickr.consumers, 3.0
+    )
+    assert [(t, c) for t, c, _ in mr_rows] == [
+        (t, c) for t, c, _ in exact_rows
+    ]
+    assert runtime.jobs_executed == 3
+
+
+def test_graph_construction_respects_formulas(flickr, flickr_graph):
+    item_caps, consumer_caps = flickr.capacities(2.0)
+    for user, activity in flickr.consumer_activity.items():
+        assert flickr_graph.capacity(user) == max(
+            1, int(math.floor(2.0 * activity + 0.5))
+        )
+    bandwidth = sum(consumer_caps.values())
+    assert sum(item_caps.values()) <= bandwidth + flickr.num_items
+
+
+def test_all_mapreduce_algorithms_end_to_end(flickr_graph):
+    capacities = flickr_graph.capacities()
+    greedy = greedy_mr_b_matching(flickr_graph)
+    assert check_matching(capacities, iter(greedy.matching)).feasible
+
+    stack = stack_mr_b_matching(flickr_graph, epsilon=1.0, seed=2)
+    for node, overflow in stack.violations(
+        capacities
+    ).violated_nodes.items():
+        assert overflow <= math.ceil(capacities[node])
+
+    # §6 quality ordering: greedy_mr at least as good as stack_mr here
+    assert greedy.value >= stack.value * 0.99
+
+
+def test_quality_against_exact_optimum(flickr_graph):
+    optimum = flow_b_matching(flickr_graph)
+    greedy = greedy_mr_b_matching(flickr_graph)
+    stack = stack_mr_b_matching(flickr_graph, epsilon=1.0, seed=0)
+    assert greedy.value >= 0.5 * optimum.value - 1e-9
+    assert stack.value >= optimum.value / 7.0 - 1e-9
+    assert stack.dual_upper_bound >= optimum.value - 1e-6
+    # greedy is usually much closer to optimal than its guarantee
+    assert greedy.value >= 0.8 * optimum.value
+
+
+def test_yahoo_pipeline_uniform_capacities():
+    dataset = yahoo_answers_dataset(
+        "ya-e2e", num_questions=60, num_users=15, seed=4
+    )
+    graph = dataset.graph(sigma=3.0, alpha=1.0)
+    question_caps = {
+        node: graph.capacity(node) for node in graph.items()
+    }
+    assert len(set(question_caps.values())) == 1
+    result = greedy_mr_b_matching(graph)
+    assert check_matching(
+        graph.capacities(), iter(result.matching)
+    ).feasible
+    assert result.value > 0
+
+
+def test_sequential_equals_mr_greedy_on_pipeline_graph(flickr_graph):
+    assert greedy_b_matching(flickr_graph).value == pytest.approx(
+        greedy_mr_b_matching(flickr_graph).value
+    )

@@ -1,0 +1,118 @@
+"""Integration tests asserting the paper's §6 qualitative findings.
+
+These are the critical "shape" claims a reproduction must exhibit; the
+benchmarks print them at larger scale, the tests pin them at small
+scale so regressions are caught by ``pytest``.
+"""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments import (
+    SweepSpec,
+    evaluate_checks,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    spec = SweepSpec(
+        dataset="flickr-small",
+        scale=0.06,
+        floor_sigma=1.0,
+        edge_fractions=(0.1, 0.4),
+        alphas=(2.0,),
+        epsilon=1.0,
+        algorithms=("greedy_mr", "stack_mr", "stack_greedy_mr"),
+    )
+    return run_sweep(spec, seed=0)
+
+
+def test_greedy_dominates_stack_in_value(sweep):
+    """§6: "GreedyMR consistently produces matchings with higher value"."""
+    by_cell = {}
+    for row in sweep.rows:
+        by_cell.setdefault((row.sigma, row.alpha), {})[
+            row.algorithm
+        ] = row.value
+    assert by_cell
+    for cell, values in by_cell.items():
+        assert values["GreedyMR"] >= values["StackMR"] * 0.999, cell
+
+
+def test_stack_greedy_at_least_stack(sweep):
+    """§6: "StackGreedyMR is slightly better than StackMR" (on average)."""
+    greedy_total = sum(
+        row.value
+        for row in sweep.rows
+        if row.algorithm == "StackGreedyMR"
+    )
+    uniform_total = sum(
+        row.value for row in sweep.rows if row.algorithm == "StackMR"
+    )
+    assert greedy_total >= 0.95 * uniform_total
+
+
+def test_value_increases_with_edges(sweep):
+    """§6: "the b-matching value increases with the number of edges"."""
+    xs, ys = sweep.series("GreedyMR", 2.0, "value")
+    assert len(ys) >= 2
+    assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+
+def test_violations_zero_or_tiny(sweep):
+    """§6: violations range from practically 0 to a few percent."""
+    for row in sweep.rows:
+        assert row.avg_violation <= 0.10
+
+
+def test_shape_checks_pass(sweep):
+    checks = evaluate_checks(sweep.rows)
+    names = {check.name for check in checks}
+    assert any("GreedyMR value >= StackMR" in name for name in names)
+    critical = [
+        check
+        for check in checks
+        if "GreedyMR value >= StackMR" in check.name
+    ]
+    assert all(check.passed for check in critical)
+
+
+def test_greedy_anytime_converges_early():
+    """§6: 95% of the final value within a minority of the iterations."""
+    dataset = load_dataset("flickr-small", seed=0, scale=0.1)
+    sigma = dataset.sigma_for_edge_count(
+        len(dataset.edges(1.0)) // 5, 1.0
+    )
+    graph = dataset.graph(sigma=sigma, alpha=2.0)
+    from repro.matching import greedy_mr_b_matching
+
+    result = greedy_mr_b_matching(graph)
+    rounds_at_95 = result.iterations_to_fraction(0.95)
+    assert rounds_at_95 is not None
+    fraction = rounds_at_95 / result.rounds
+    assert fraction <= 0.6  # paper: 0.29-0.45
+
+
+def test_stack_iterations_scale_better_than_greedy():
+    """§6 efficiency: GreedyMR rounds grow with the graph; StackMR's
+    stay near-flat (its power shows on the *large* datasets)."""
+    dataset = load_dataset("flickr-small", seed=0, scale=0.12)
+    floor = 1.0
+    total = len(dataset.edges(floor))
+    small_sigma = dataset.sigma_for_edge_count(total // 10, floor)
+    graph_small = dataset.graph(sigma=small_sigma, alpha=2.0)
+    graph_big = dataset.graph(sigma=floor, alpha=2.0)
+
+    from repro.matching import greedy_mr_b_matching, stack_mr_b_matching
+
+    greedy_small = greedy_mr_b_matching(graph_small)
+    greedy_big = greedy_mr_b_matching(graph_big)
+    stack_small = stack_mr_b_matching(graph_small, seed=1)
+    stack_big = stack_mr_b_matching(graph_big, seed=1)
+
+    greedy_growth = greedy_big.rounds / max(greedy_small.rounds, 1)
+    stack_growth = stack_big.mr_jobs / max(stack_small.mr_jobs, 1)
+    # StackMR's job count grows strictly slower than GreedyMR's rounds.
+    assert stack_growth <= greedy_growth + 0.5

@@ -1,0 +1,62 @@
+"""Unit tests for the Hadoop-style counters."""
+
+from repro.mapreduce import Counters
+
+
+def test_increment_and_get():
+    counters = Counters()
+    counters.increment("g", "a")
+    counters.increment("g", "a", 4)
+    assert counters.get("g", "a") == 5
+
+
+def test_get_missing_is_zero():
+    counters = Counters()
+    assert counters.get("nope", "nothing") == 0
+
+
+def test_group_returns_copy():
+    counters = Counters()
+    counters.increment("g", "a", 2)
+    group = counters.group("g")
+    group["a"] = 999
+    assert counters.get("g", "a") == 2
+
+
+def test_merge_adds_counters():
+    a = Counters()
+    b = Counters()
+    a.increment("g", "x", 1)
+    b.increment("g", "x", 2)
+    b.increment("h", "y", 3)
+    a.merge(b)
+    assert a.get("g", "x") == 3
+    assert a.get("h", "y") == 3
+    # merge must not alias: incrementing a afterwards leaves b intact
+    a.increment("h", "y")
+    assert b.get("h", "y") == 3
+
+
+def test_snapshot_is_plain_dicts():
+    counters = Counters()
+    counters.increment("g", "a", 7)
+    snap = counters.snapshot()
+    assert snap == {"g": {"a": 7}}
+    snap["g"]["a"] = 0
+    assert counters.get("g", "a") == 7
+
+
+def test_reset_clears_everything():
+    counters = Counters()
+    counters.increment("g", "a")
+    counters.reset()
+    assert counters.get("g", "a") == 0
+    assert counters.snapshot() == {}
+
+
+def test_iteration_is_sorted():
+    counters = Counters()
+    counters.increment("b", "z", 1)
+    counters.increment("a", "y", 2)
+    counters.increment("a", "x", 3)
+    assert list(counters) == [("a", "x", 3), ("a", "y", 2), ("b", "z", 1)]

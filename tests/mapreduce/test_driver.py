@@ -1,0 +1,57 @@
+"""Tests for the iterative driver."""
+
+import pytest
+
+from repro.mapreduce import (
+    IterativeDriver,
+    MapReduceJob,
+    MapReduceRuntime,
+    RoundLimitExceeded,
+)
+
+
+class AddOne(MapReduceJob):
+    def map(self, key, value):
+        yield key, value + 1
+
+    def reduce(self, key, values):
+        yield key, values[0]
+
+
+def test_driver_iterates_to_convergence(runtime):
+    driver = IterativeDriver(runtime, name="count-to-5")
+
+    def step(state, round_number):
+        output = runtime.run(AddOne(), state)
+        return output, output[0][1] >= 5
+
+    final = driver.iterate(step, [("k", 0)])
+    assert final == [("k", 5)]
+    assert driver.rounds_completed == 5
+    assert driver.jobs_per_round == [1, 1, 1, 1, 1]
+    assert runtime.counters.get("count-to-5", "rounds") == 5
+
+
+def test_driver_round_limit(runtime):
+    driver = IterativeDriver(runtime, name="never", max_rounds=3)
+    with pytest.raises(RoundLimitExceeded) as excinfo:
+        driver.iterate(lambda state, n: (state, False), None)
+    assert excinfo.value.max_rounds == 3
+    assert "never" in str(excinfo.value)
+
+
+def test_driver_round_callback(runtime):
+    seen = []
+    driver = IterativeDriver(
+        runtime,
+        name="cb",
+        on_round_end=lambda state, n: seen.append((state, n)),
+    )
+    driver.iterate(lambda state, n: (state + 1, state + 1 >= 2), 0)
+    assert seen == [(1, 0), (2, 1)]
+
+
+def test_driver_zero_jobs_per_round_allowed(runtime):
+    driver = IterativeDriver(runtime, name="pure")
+    driver.iterate(lambda state, n: (state, True), None)
+    assert driver.jobs_per_round == [0]

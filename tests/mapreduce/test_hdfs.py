@@ -1,0 +1,77 @@
+"""Tests for the in-memory distributed filesystem."""
+
+import pytest
+
+from repro.mapreduce import FileSystemError, InMemoryFileSystem
+
+
+@pytest.fixture
+def fs():
+    return InMemoryFileSystem()
+
+
+def test_write_read_roundtrip(fs):
+    assert fs.write("/data/in", [("a", 1), ("b", 2)]) == 2
+    assert fs.read("/data/in") == [("a", 1), ("b", 2)]
+    assert fs.size("/data/in") == 2
+    assert fs.exists("/data/in")
+    assert "/data/in" in fs
+
+
+def test_read_returns_copies(fs):
+    fs.write("/x", [("a", 1)])
+    records = fs.read("/x")
+    records.append(("evil", 2))
+    assert fs.read("/x") == [("a", 1)]
+
+
+def test_overwrite_protection(fs):
+    fs.write("/x", [("a", 1)])
+    with pytest.raises(FileSystemError, match="already exists"):
+        fs.write("/x", [("b", 2)])
+    fs.write("/x", [("b", 2)], overwrite=True)
+    assert fs.read("/x") == [("b", 2)]
+
+
+def test_missing_path(fs):
+    with pytest.raises(FileSystemError, match="no such path"):
+        fs.read("/missing")
+    with pytest.raises(FileSystemError, match="no such path"):
+        fs.delete("/missing")
+    assert not fs.exists("/missing")
+
+
+def test_path_validation(fs):
+    with pytest.raises(FileSystemError):
+        fs.write("relative", [])
+    with pytest.raises(FileSystemError):
+        fs.write("/trailing/", [])
+    with pytest.raises(FileSystemError):
+        fs.write("", [])
+
+
+def test_record_validation(fs):
+    with pytest.raises(FileSystemError, match="pairs"):
+        fs.write("/bad", ["not-a-pair"])
+
+
+def test_read_many_concatenates(fs):
+    fs.write("/a", [("k", 1)])
+    fs.write("/b", [("k", 2)])
+    assert fs.read_many(["/a", "/b"]) == [("k", 1), ("k", 2)]
+
+
+def test_delete(fs):
+    fs.write("/x", [("a", 1)])
+    fs.delete("/x")
+    assert not fs.exists("/x")
+
+
+def test_list_paths_by_prefix(fs):
+    fs.write("/job/out1", [])
+    fs.write("/job/out2", [])
+    fs.write("/other", [])
+    assert fs.list_paths("/job") == ["/job/out1", "/job/out2"]
+    assert len(fs.list_paths()) == 3
+    with pytest.raises(FileSystemError):
+        fs.list_paths("job")

@@ -1,0 +1,102 @@
+"""Tests for declarative job pipelines."""
+
+import pytest
+
+from repro.mapreduce import (
+    InMemoryFileSystem,
+    MapReduceError,
+    MapReduceJob,
+    MapReduceRuntime,
+    Pipeline,
+)
+
+
+class Tokenize(MapReduceJob):
+    def map(self, key, line):
+        for word in line.split():
+            yield word, 1
+
+    def reduce(self, word, ones):
+        yield word, sum(ones)
+
+
+class FilterBig(MapReduceJob):
+    """Keeps words whose count is at least side_data['min']."""
+
+    def map(self, word, count):
+        if count >= self.side_data["min"]:
+            yield word, count
+
+    def reduce(self, word, counts):
+        yield word, counts[0]
+
+
+@pytest.fixture
+def pipeline():
+    p = Pipeline()
+    p.filesystem.write("/in", [(0, "a b a c a b")])
+    return p
+
+
+def test_two_stage_pipeline(pipeline):
+    pipeline.add(Tokenize(), ["/in"], "/counts")
+    pipeline.add(
+        FilterBig(),
+        ["/counts"],
+        "/big",
+        side_data=lambda fs: {"min": 2},
+    )
+    output = pipeline.run()
+    assert dict(output) == {"a": 3, "b": 2}
+    assert pipeline.filesystem.read("/counts")  # intermediate persisted
+    assert pipeline.records_out == {"/counts": 3, "/big": 2}
+
+
+def test_side_data_factory_sees_filesystem(pipeline):
+    pipeline.add(Tokenize(), ["/in"], "/counts")
+    pipeline.add(
+        FilterBig(),
+        ["/counts"],
+        "/big",
+        side_data=lambda fs: {"min": max(dict(fs.read("/counts")).values())},
+    )
+    output = pipeline.run()
+    assert dict(output) == {"a": 3}
+
+
+def test_validate_missing_input():
+    p = Pipeline()
+    p.add(Tokenize(), ["/nope"], "/out")
+    with pytest.raises(MapReduceError, match="which does not exist"):
+        p.run()
+
+
+def test_validate_duplicate_output(pipeline):
+    pipeline.add(Tokenize(), ["/in"], "/out")
+    pipeline.add(Tokenize(), ["/in"], "/out")
+    with pytest.raises(MapReduceError, match="two stages write"):
+        p = pipeline.run()
+
+
+def test_later_stage_may_consume_earlier_output(pipeline):
+    pipeline.add(Tokenize(), ["/in"], "/counts")
+    pipeline.add(
+        FilterBig(), ["/counts"], "/big", side_data=lambda fs: {"min": 1}
+    )
+    pipeline.validate()  # inputs satisfied by the declared wiring
+
+
+def test_describe(pipeline):
+    pipeline.add(Tokenize(), ["/in"], "/counts")
+    text = pipeline.describe()
+    assert "Tokenize" in text
+    assert "/in" in text and "/counts" in text
+
+
+def test_multi_input_stage():
+    p = Pipeline()
+    p.filesystem.write("/a", [(0, "x y")])
+    p.filesystem.write("/b", [(1, "y z")])
+    p.add(Tokenize(), ["/a", "/b"], "/counts")
+    output = dict(p.run())
+    assert output == {"x": 1, "y": 2, "z": 1}

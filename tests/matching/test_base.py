@@ -1,0 +1,48 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.graph import star_graph
+from repro.matching import ALGORITHMS, solve
+
+
+def test_all_registered_algorithms_run():
+    g = star_graph(4, center_capacity=2)
+    for name in ALGORITHMS:
+        if name == "exact":  # needs a bipartite graph; tested elsewhere
+            continue
+        if name.startswith("exact") or name == "bruteforce":
+            continue
+        result = solve(g, name)
+        assert result.value > 0, name
+
+
+def test_solve_forwards_kwargs():
+    g = star_graph(4, center_capacity=2)
+    result = solve(g, "stack", epsilon=0.5, seed=3)
+    assert result.algorithm == "Stack"
+
+
+def test_unknown_algorithm():
+    g = star_graph(3, center_capacity=1)
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        solve(g, "oracle")
+
+
+def test_registry_names_are_stable():
+    expected = {
+        "greedy",
+        "greedy_mr",
+        "stack",
+        "stack_greedy",
+        "stack_feasible",
+        "stack_mr",
+        "stack_greedy_mr",
+        "stack_weighted_mr",
+        "suitor",
+        "exact_flow",
+        "exact_lp",
+        "exact",
+        "bruteforce",
+    }
+    assert set(ALGORITHMS) == expected

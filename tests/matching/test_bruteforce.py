@@ -1,0 +1,69 @@
+"""Tests for the brute-force oracle itself."""
+
+import itertools
+
+import pytest
+
+from repro.graph import Graph, greedy_tightness_triangle, star_graph
+from repro.matching import bruteforce_b_matching
+
+
+def _naive_optimum(graph):
+    """Check all 2^m subsets — the oracle's oracle."""
+    edges = list(graph.edges())
+    best = 0.0
+    for r in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, r):
+            degrees = {}
+            for edge in subset:
+                degrees[edge.u] = degrees.get(edge.u, 0) + 1
+                degrees[edge.v] = degrees.get(edge.v, 0) + 1
+            if all(
+                degrees[node] <= graph.capacity(node) for node in degrees
+            ):
+                best = max(best, sum(e.weight for e in subset))
+    return best
+
+
+def test_against_naive_enumeration():
+    g = Graph()
+    for node, cap in [("a", 2), ("b", 1), ("c", 1), ("d", 2)]:
+        g.add_node(node, cap)
+    g.add_edge("a", "b", 3.0)
+    g.add_edge("a", "c", 2.0)
+    g.add_edge("b", "c", 4.0)
+    g.add_edge("c", "d", 1.0)
+    g.add_edge("a", "d", 2.5)
+    assert bruteforce_b_matching(g).value == pytest.approx(
+        _naive_optimum(g)
+    )
+
+
+def test_triangle_known_optimum():
+    g = greedy_tightness_triangle(0.2)
+    assert bruteforce_b_matching(g).value == pytest.approx(2.0)
+
+
+def test_star_known_optimum():
+    g = star_graph(6, center_capacity=3)
+    assert bruteforce_b_matching(g).value == pytest.approx(15.0)
+
+
+def test_result_is_feasible():
+    g = greedy_tightness_triangle(0.2)
+    result = bruteforce_b_matching(g)
+    assert result.violations(g.capacities()).feasible
+
+
+def test_edge_limit_enforced():
+    g = Graph()
+    for i in range(30):
+        g.add_node(f"v{i}", 1)
+    for i in range(27):
+        g.add_edge(f"v{i}", f"v{i + 1}", 1.0)
+    with pytest.raises(ValueError, match="limited"):
+        bruteforce_b_matching(g)
+
+
+def test_empty_graph():
+    assert bruteforce_b_matching(Graph()).value == 0.0

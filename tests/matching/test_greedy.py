@@ -1,0 +1,80 @@
+"""Tests for the sequential greedy ½-approximation (Theorem 2)."""
+
+import pytest
+from hypothesis import given
+
+from repro.graph import (
+    check_matching,
+    greedy_tightness_triangle,
+    star_graph,
+)
+from repro.matching import bruteforce_b_matching, greedy_b_matching
+
+from ..strategies import small_bipartite_graphs, small_general_graphs
+
+
+def test_greedy_on_star_picks_heaviest():
+    g = star_graph(5, center_capacity=2)
+    result = greedy_b_matching(g)
+    assert result.value == pytest.approx(9.0)  # spokes 5 + 4
+    assert result.rounds == 1
+
+
+def test_greedy_feasible_on_star():
+    g = star_graph(8, center_capacity=3)
+    result = greedy_b_matching(g)
+    report = check_matching(g.capacities(), iter(result.matching))
+    assert report.feasible
+
+
+def test_tightness_triangle_from_appendix_a():
+    """The Appendix A instance: greedy = 1+ε, optimum = 2."""
+    epsilon = 0.1
+    g = greedy_tightness_triangle(epsilon)
+    greedy = greedy_b_matching(g)
+    optimum = bruteforce_b_matching(g)
+    assert greedy.value == pytest.approx(1.0 + epsilon)
+    assert optimum.value == pytest.approx(2.0)
+    ratio = greedy.value / optimum.value
+    assert ratio == pytest.approx((1 + epsilon) / 2)
+    assert ratio >= 0.5  # never below the guarantee
+
+
+def test_empty_graph():
+    from repro.graph import Graph
+
+    result = greedy_b_matching(Graph())
+    assert result.value == 0.0
+    assert len(result.matching) == 0
+
+
+@given(graph=small_bipartite_graphs())
+def test_greedy_feasible_and_half_approx_bipartite(graph):
+    result = greedy_b_matching(graph)
+    report = check_matching(graph.capacities(), iter(result.matching))
+    assert report.feasible
+    optimum = bruteforce_b_matching(graph)
+    assert result.value >= 0.5 * optimum.value - 1e-9
+
+
+@given(graph=small_general_graphs())
+def test_greedy_feasible_and_half_approx_general(graph):
+    result = greedy_b_matching(graph)
+    report = check_matching(graph.capacities(), iter(result.matching))
+    assert report.feasible
+    optimum = bruteforce_b_matching(graph)
+    assert result.value >= 0.5 * optimum.value - 1e-9
+
+
+@given(graph=small_general_graphs())
+def test_greedy_matching_is_maximal(graph):
+    """Greedy can never leave an addable edge behind."""
+    result = greedy_b_matching(graph)
+    residual = graph.capacities()
+    for u, v in result.matching:
+        residual[u] -= 1
+        residual[v] -= 1
+    for edge in graph.edges():
+        if edge.key in result.matching:
+            continue
+        assert residual[edge.u] == 0 or residual[edge.v] == 0

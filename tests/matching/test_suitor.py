@@ -1,0 +1,99 @@
+"""Tests for the b-Suitor engine (must equal sequential greedy)."""
+
+import pytest
+from hypothesis import given
+
+from repro.graph import (
+    ascending_path,
+    check_matching,
+    greedy_tightness_triangle,
+    star_graph,
+)
+from repro.matching import (
+    bruteforce_b_matching,
+    greedy_b_matching,
+    suitor_b_matching,
+)
+
+from ..strategies import small_bipartite_graphs, small_general_graphs
+
+
+def test_star_matches_greedy():
+    g = star_graph(6, center_capacity=2)
+    assert suitor_b_matching(g).value == pytest.approx(
+        greedy_b_matching(g).value
+    )
+
+
+def test_triangle_tightness_instance():
+    g = greedy_tightness_triangle(0.1)
+    suitor = suitor_b_matching(g)
+    assert suitor.value == pytest.approx(1.1)
+    assert set(suitor.matching) == set(greedy_b_matching(g).matching)
+
+
+def test_ascending_path():
+    g = ascending_path(15)
+    assert set(suitor_b_matching(g).matching) == set(
+        greedy_b_matching(g).matching
+    )
+
+
+@given(graph=small_bipartite_graphs())
+def test_equals_greedy_bipartite(graph):
+    """The b-Suitor theorem: same matching as sequential greedy."""
+    suitor = suitor_b_matching(graph)
+    greedy = greedy_b_matching(graph)
+    assert set(suitor.matching) == set(greedy.matching)
+    assert suitor.value == pytest.approx(greedy.value)
+
+
+@given(graph=small_general_graphs())
+def test_equals_greedy_general(graph):
+    suitor = suitor_b_matching(graph)
+    greedy = greedy_b_matching(graph)
+    assert set(suitor.matching) == set(greedy.matching)
+
+
+@given(graph=small_general_graphs())
+def test_feasible_and_half_approx(graph):
+    result = suitor_b_matching(graph)
+    assert check_matching(
+        graph.capacities(), iter(result.matching)
+    ).feasible
+    optimum = bruteforce_b_matching(graph)
+    assert result.value >= 0.5 * optimum.value - 1e-9
+
+
+def test_zero_capacity_nodes_skipped():
+    from repro.graph import Graph
+
+    g = Graph()
+    g.add_node("a", 0)
+    g.add_node("b", 1)
+    g.add_node("c", 1)
+    g.add_edge("a", "b", 100.0)
+    g.add_edge("b", "c", 1.0)
+    assert set(suitor_b_matching(g).matching) == {("b", "c")}
+
+
+def test_empty_graph():
+    from repro.graph import Graph
+
+    result = suitor_b_matching(Graph())
+    assert result.value == 0.0
+
+
+def test_registered_in_solver_registry():
+    from repro.matching import solve
+
+    g = star_graph(4, center_capacity=2)
+    assert solve(g, "suitor").value == pytest.approx(7.0)
+
+
+def test_proposal_attempts_bounded_by_edges():
+    g = star_graph(30, center_capacity=5)
+    result = suitor_b_matching(g)
+    # every attempt consumes a preference-list cursor position; with
+    # displacements the total is still O(|E|)
+    assert result.rounds <= 2 * g.num_edges + g.num_nodes

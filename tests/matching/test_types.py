@@ -1,0 +1,74 @@
+"""Tests for the Matching / MatchingResult types."""
+
+import pytest
+
+from repro.matching import Matching, MatchingResult
+
+
+def test_add_and_totals():
+    m = Matching()
+    m.add("b", "a", 2.0)
+    m.add("a", "c", 3.0)
+    assert len(m) == 2
+    assert m.value == pytest.approx(5.0)
+    assert ("a", "b") in m  # normalized
+    assert m.weight("b", "a") == 2.0
+    assert m.degree("a") == 2
+    assert m.degree("b") == 1
+    assert m.degree("zzz") == 0
+
+
+def test_add_duplicate_rejected():
+    m = Matching()
+    m.add("a", "b", 1.0)
+    with pytest.raises(ValueError):
+        m.add("b", "a", 1.0)
+
+
+def test_discard():
+    m = Matching()
+    m.add("a", "b", 2.0)
+    assert m.discard("b", "a") is True
+    assert m.discard("b", "a") is False
+    assert len(m) == 0
+    assert m.value == pytest.approx(0.0)
+    assert m.degrees() == {}
+
+
+def test_edges_sorted_rows():
+    m = Matching()
+    m.add("t2", "c1", 1.0)
+    m.add("t1", "c1", 2.0)
+    assert m.edges() == [("c1", "t1", 2.0), ("c1", "t2", 1.0)]
+
+
+def test_copy_independent():
+    m = Matching()
+    m.add("a", "b", 1.0)
+    clone = m.copy()
+    clone.add("c", "d", 5.0)
+    assert len(m) == 1
+    assert clone.value == pytest.approx(6.0)
+
+
+def test_result_violations_delegates():
+    m = Matching()
+    m.add("a", "b", 1.0)
+    result = MatchingResult(matching=m, algorithm="X")
+    report = result.violations({"a": 1, "b": 1})
+    assert report.feasible
+    assert result.value == pytest.approx(1.0)
+
+
+def test_iterations_to_fraction():
+    m = Matching()
+    result = MatchingResult(
+        matching=m,
+        algorithm="X",
+        value_history=[10.0, 50.0, 90.0, 99.0, 100.0],
+    )
+    assert result.iterations_to_fraction(0.95) == 4
+    assert result.iterations_to_fraction(0.5) == 2
+    assert result.iterations_to_fraction(1.0) == 5
+    empty = MatchingResult(matching=m, algorithm="X")
+    assert empty.iterations_to_fraction(0.95) is None

@@ -1,0 +1,35 @@
+"""Tests for the candidate-edges dispatch API."""
+
+import pytest
+
+from repro.simjoin import JOIN_METHODS, candidate_edges
+
+ITEMS = {"t1": {"a": 2.0}, "t2": {"b": 1.0}}
+CONSUMERS = {"c1": {"a": 1.0, "b": 1.0}}
+
+
+def test_all_methods_agree():
+    results = {
+        method: candidate_edges(ITEMS, CONSUMERS, 1.0, method=method)
+        for method in ("exact", "scipy", "mapreduce")
+    }
+    baseline = results["exact"]
+    assert baseline == [("t1", "c1", 2.0), ("t2", "c1", 1.0)]
+    for method, rows in results.items():
+        assert [(t, c) for t, c, _ in rows] == [
+            (t, c) for t, c, _ in baseline
+        ], method
+
+
+def test_auto_dispatch_small_uses_exact():
+    rows = candidate_edges(ITEMS, CONSUMERS, 1.5, method="auto")
+    assert rows == [("t1", "c1", 2.0)]
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError, match="unknown join method"):
+        candidate_edges(ITEMS, CONSUMERS, 1.0, method="quantum")
+
+
+def test_methods_constant_is_consistent():
+    assert set(JOIN_METHODS) == {"auto", "exact", "scipy", "mapreduce"}

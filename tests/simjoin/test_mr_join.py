@@ -1,0 +1,92 @@
+"""Tests for the MapReduce similarity join (§5.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce import MapReduceRuntime
+from repro.simjoin import (
+    exact_similarity_join,
+    mapreduce_similarity_join,
+)
+
+from ..strategies import vector_collections
+
+
+def test_mr_join_matches_exact_small():
+    items = {"t1": {"a": 2.0, "b": 1.0}, "t2": {"c": 4.0}}
+    consumers = {"c1": {"a": 1.0, "c": 1.0}, "c2": {"b": 2.0}}
+    for sigma in (0.5, 2.0, 3.9, 4.0, 10.0):
+        assert mapreduce_similarity_join(
+            items, consumers, sigma
+        ) == exact_similarity_join(items, consumers, sigma)
+
+
+def test_mr_join_emits_only_cross_side_pairs():
+    items = {"t1": {"a": 1.0}, "t2": {"a": 1.0}}
+    consumers = {"c1": {"a": 1.0}, "c2": {"a": 1.0}}
+    rows = mapreduce_similarity_join(items, consumers, 0.5)
+    for t, c, _ in rows:
+        assert t.startswith("t") and c.startswith("c")
+    assert len(rows) == 4  # no t-t or c-c pairs
+
+
+def test_mr_join_runs_three_jobs():
+    runtime = MapReduceRuntime()
+    mapreduce_similarity_join(
+        {"t1": {"a": 1.0}}, {"c1": {"a": 1.0}}, 0.5, runtime=runtime
+    )
+    assert runtime.jobs_executed == 3
+    assert runtime.job_log == [
+        "simjoin-term-bounds",
+        "simjoin-candidates",
+        "simjoin-verify",
+    ]
+
+
+def test_mr_join_rejects_nonpositive_sigma():
+    with pytest.raises(ValueError):
+        mapreduce_similarity_join({}, {}, 0.0)
+
+
+def test_mr_join_prunes_the_index():
+    # One heavy discriminative term per item; high sigma means only the
+    # heavy term must be indexed, so the candidate job's shuffle stays
+    # far below |T|·|terms|.
+    items = {
+        f"t{i}": {"shared": 0.1, f"own{i}": 10.0} for i in range(20)
+    }
+    consumers = {f"c{i}": {f"own{i}": 10.0} for i in range(20)}
+    runtime = MapReduceRuntime()
+    rows = mapreduce_similarity_join(
+        items, consumers, sigma=50.0, runtime=runtime
+    )
+    assert len(rows) == 20  # each item matches exactly its consumer
+    postings = runtime.counters.get(
+        "simjoin-candidates", "map.output.records"
+    )
+    # 20 item prefixes (1 term each) + 20 consumer postings
+    assert postings == 40
+
+
+@given(
+    data=vector_collections(max_docs=4),
+    sigma=st.floats(min_value=0.3, max_value=6.0, allow_nan=False),
+    maps=st.integers(min_value=1, max_value=3),
+    reduces=st.integers(min_value=1, max_value=3),
+)
+def test_mr_join_equivalence_property(data, sigma, maps, reduces):
+    """MR join == exact join, for any task layout and threshold."""
+    items, consumers = data
+    runtime = MapReduceRuntime(
+        num_map_tasks=maps, num_reduce_tasks=reduces
+    )
+    got = mapreduce_similarity_join(
+        items, consumers, sigma, runtime=runtime
+    )
+    expected = exact_similarity_join(items, consumers, sigma)
+    assert [(t, c) for t, c, _ in got] == [
+        (t, c) for t, c, _ in expected
+    ]
+    for (_, _, a), (_, _, b) in zip(got, expected):
+        assert a == pytest.approx(b)

@@ -1,0 +1,48 @@
+"""Tests for the DFS-backed similarity-join pipeline."""
+
+import pytest
+
+from repro.mapreduce import InMemoryFileSystem, MapReduceRuntime
+from repro.simjoin import (
+    exact_similarity_join,
+    similarity_join_pipeline,
+)
+
+ITEMS = {"t1": {"a": 2.0, "b": 1.0}, "t2": {"c": 4.0}}
+CONSUMERS = {"c1": {"a": 1.0, "c": 1.0}, "c2": {"b": 2.0}}
+
+
+def test_pipeline_output_matches_direct_join():
+    pipeline = similarity_join_pipeline(ITEMS, CONSUMERS, 1.0)
+    output = pipeline.run()
+    rows = sorted((t, c, w) for (t, c), w in output)
+    assert rows == exact_similarity_join(ITEMS, CONSUMERS, 1.0)
+
+
+def test_pipeline_persists_intermediates():
+    fs = InMemoryFileSystem()
+    runtime = MapReduceRuntime()
+    pipeline = similarity_join_pipeline(
+        ITEMS, CONSUMERS, 1.0, runtime=runtime, filesystem=fs
+    )
+    pipeline.run()
+    assert fs.exists("/simjoin/documents")
+    assert fs.exists("/simjoin/term_bounds")
+    assert fs.exists("/simjoin/candidates")
+    assert fs.exists("/simjoin/edges")
+    bounds = dict(fs.read("/simjoin/term_bounds"))
+    assert bounds == {"a": 1.0, "b": 2.0, "c": 1.0}
+    assert runtime.jobs_executed == 3
+
+
+def test_pipeline_describe_names_stages():
+    pipeline = similarity_join_pipeline(ITEMS, CONSUMERS, 1.0)
+    description = pipeline.describe()
+    assert "simjoin-term-bounds" in description
+    assert "simjoin-candidates" in description
+    assert "simjoin-verify" in description
+
+
+def test_pipeline_rejects_bad_sigma():
+    with pytest.raises(ValueError):
+        similarity_join_pipeline(ITEMS, CONSUMERS, 0.0)

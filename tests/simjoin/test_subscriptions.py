@@ -1,0 +1,102 @@
+"""Tests for the §4 subscription-restricted candidate edges."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simjoin import (
+    exact_similarity_join,
+    filter_by_subscription,
+    subscription_join,
+)
+
+ITEMS = {
+    "t1": {"a": 2.0},
+    "t2": {"a": 1.0, "b": 1.0},
+    "t3": {"c": 5.0},
+}
+CONSUMERS = {
+    "c1": {"a": 1.0},
+    "c2": {"b": 3.0, "c": 1.0},
+}
+OWNER = {"t1": "p1", "t2": "p1", "t3": "p2"}
+FOLLOWS = {"c1": {"p1"}, "c2": {"p2"}}
+
+
+def test_filter_keeps_only_subscribed_pairs():
+    edges = exact_similarity_join(ITEMS, CONSUMERS, 0.5)
+    kept = filter_by_subscription(edges, OWNER, FOLLOWS)
+    assert kept == [("t1", "c1", 2.0), ("t2", "c1", 1.0), ("t3", "c2", 5.0)]
+
+
+def test_filter_drops_unowned_items_and_unsubscribed_consumers():
+    edges = [("ghost", "c1", 9.0), ("t1", "stranger", 9.0)]
+    assert filter_by_subscription(edges, OWNER, FOLLOWS) == []
+
+
+def test_join_direct_equals_filtered():
+    direct = subscription_join(ITEMS, CONSUMERS, OWNER, FOLLOWS)
+    filtered = filter_by_subscription(
+        exact_similarity_join(ITEMS, CONSUMERS, 1e-9), OWNER, FOLLOWS
+    )
+    assert direct == filtered
+
+
+def test_join_applies_sigma_on_top():
+    rows = subscription_join(
+        ITEMS, CONSUMERS, OWNER, FOLLOWS, sigma=1.5
+    )
+    assert rows == [("t1", "c1", 2.0), ("t3", "c2", 5.0)]
+
+
+def test_join_rejects_negative_sigma():
+    with pytest.raises(ValueError):
+        subscription_join(ITEMS, CONSUMERS, OWNER, FOLLOWS, sigma=-1.0)
+
+
+@given(
+    follows=st.dictionaries(
+        st.sampled_from(["c1", "c2"]),
+        st.frozensets(st.sampled_from(["p1", "p2"]), max_size=2),
+        max_size=2,
+    )
+)
+def test_direct_equals_filtered_property(follows):
+    direct = subscription_join(ITEMS, CONSUMERS, OWNER, follows)
+    filtered = filter_by_subscription(
+        exact_similarity_join(ITEMS, CONSUMERS, 1e-9), OWNER, follows
+    )
+    assert direct == filtered
+
+
+def test_flickr_dataset_subscription_scenario():
+    from repro.datasets import flickr_dataset
+    from repro.matching import greedy_mr_b_matching
+
+    dataset = flickr_dataset(
+        "flickr-subs", num_photos=80, num_users=20, seed=6
+    )
+    assert dataset.item_owner
+    assert dataset.subscriptions
+    restricted = dataset.subscription_edges()
+    unrestricted = dataset.edges(1e-9)
+    assert 0 < len(restricted) < len(unrestricted)
+    # every restricted edge exists in the unrestricted set
+    unrestricted_pairs = {(t, c) for t, c, _ in unrestricted}
+    assert all(
+        (t, c) in unrestricted_pairs for t, c, _ in restricted
+    )
+    # and the matching pipeline runs on the restricted instance
+    graph = dataset.subscription_graph(alpha=2.0)
+    result = greedy_mr_b_matching(graph)
+    assert result.violations(graph.capacities()).feasible
+
+
+def test_dataset_without_social_graph_raises():
+    from repro.datasets import yahoo_answers_dataset
+
+    dataset = yahoo_answers_dataset(
+        "ya-nosubs", num_questions=20, num_users=5, seed=1
+    )
+    with pytest.raises(ValueError, match="no subscription graph"):
+        dataset.subscription_edges()

@@ -1,0 +1,114 @@
+"""Hypothesis strategies shared across the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteGraph, Graph
+
+# Weights are drawn from a grid to avoid pathological float noise while
+# still producing plenty of ties broken by the edge total order.
+weight_strategy = st.sampled_from(
+    [0.5, 1.0, 1.5, 2.0, 3.0, 4.5, 7.0, 10.0, 12.5, 20.0]
+)
+
+capacity_strategy = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def small_bipartite_graphs(
+    draw, max_items: int = 6, max_consumers: int = 5, max_edges: int = 14
+):
+    """Small random bipartite instances (brute-forceable)."""
+    num_items = draw(st.integers(min_value=1, max_value=max_items))
+    num_consumers = draw(
+        st.integers(min_value=1, max_value=max_consumers)
+    )
+    graph = BipartiteGraph()
+    for i in range(num_items):
+        graph.add_item(f"t{i}", draw(capacity_strategy))
+    for j in range(num_consumers):
+        graph.add_consumer(f"c{j}", draw(capacity_strategy))
+    pairs = [
+        (f"t{i}", f"c{j}")
+        for i in range(num_items)
+        for j in range(num_consumers)
+    ]
+    count = draw(
+        st.integers(min_value=0, max_value=min(len(pairs), max_edges))
+    )
+    chosen = draw(
+        st.lists(
+            st.sampled_from(pairs),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    ) if pairs else []
+    for item, consumer in chosen:
+        graph.add_edge(item, consumer, draw(weight_strategy))
+    return graph
+
+
+@st.composite
+def small_general_graphs(draw, max_nodes: int = 7, max_edges: int = 12):
+    """Small random general graphs (odd cycles possible)."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = Graph()
+    for i in range(num_nodes):
+        graph.add_node(f"v{i}", draw(capacity_strategy))
+    pairs = [
+        (f"v{i}", f"v{j}")
+        for i in range(num_nodes)
+        for j in range(i + 1, num_nodes)
+    ]
+    count = draw(
+        st.integers(min_value=0, max_value=min(len(pairs), max_edges))
+    )
+    chosen = draw(
+        st.lists(
+            st.sampled_from(pairs),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    ) if pairs else []
+    for u, v in chosen:
+        graph.add_edge(u, v, draw(weight_strategy))
+    return graph
+
+
+term_strategy = st.sampled_from([f"w{i}" for i in range(20)])
+
+
+@st.composite
+def sparse_vectors(draw, max_terms: int = 8):
+    """Small sparse term vectors with positive weights."""
+    terms = draw(
+        st.lists(term_strategy, min_size=1, max_size=max_terms, unique=True)
+    )
+    return {
+        term: draw(
+            st.floats(
+                min_value=0.1,
+                max_value=5.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        for term in terms
+    }
+
+
+@st.composite
+def vector_collections(draw, max_docs: int = 6):
+    """A pair of small item / consumer vector stores."""
+    num_items = draw(st.integers(min_value=1, max_value=max_docs))
+    num_consumers = draw(st.integers(min_value=1, max_value=max_docs))
+    items = {
+        f"t{i}": draw(sparse_vectors()) for i in range(num_items)
+    }
+    consumers = {
+        f"c{j}": draw(sparse_vectors()) for j in range(num_consumers)
+    }
+    return items, consumers

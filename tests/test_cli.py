@@ -1,0 +1,149 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.graph import read_edges
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("corpus") / "flickr")
+    code = main(
+        [
+            "generate",
+            "flickr-small",
+            "--out",
+            directory,
+            "--scale",
+            "0.05",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return directory
+
+
+def test_generate_writes_all_files(corpus_dir, capsys):
+    for name in (
+        "items.tsv",
+        "consumers.tsv",
+        "activity.tsv",
+        "quality.tsv",
+        "meta.json",
+    ):
+        assert os.path.exists(os.path.join(corpus_dir, name)), name
+    with open(os.path.join(corpus_dir, "meta.json")) as handle:
+        meta = json.load(handle)
+    assert meta["name"] == "flickr-small"
+    assert meta["capacity_scheme"] == "quality"
+
+
+def test_join_writes_edges(corpus_dir, capsys):
+    code = main(["join", corpus_dir, "--sigma", "2.0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "candidate edges" in out
+    edges = list(read_edges(os.path.join(corpus_dir, "edges.tsv")))
+    assert edges
+    assert all(weight >= 2.0 for _, _, weight in edges)
+
+
+def test_join_mapreduce_method_matches_exact(corpus_dir, tmp_path):
+    exact_path = str(tmp_path / "exact.tsv")
+    mr_path = str(tmp_path / "mr.tsv")
+    assert (
+        main(
+            [
+                "join",
+                corpus_dir,
+                "--sigma",
+                "3.0",
+                "--method",
+                "exact",
+                "--out",
+                exact_path,
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "join",
+                corpus_dir,
+                "--sigma",
+                "3.0",
+                "--method",
+                "mapreduce",
+                "--out",
+                mr_path,
+            ]
+        )
+        == 0
+    )
+    exact_rows = [(t, c) for t, c, _ in read_edges(exact_path)]
+    mr_rows = [(t, c) for t, c, _ in read_edges(mr_path)]
+    assert exact_rows == mr_rows
+
+
+@pytest.mark.parametrize("algorithm", ["greedy_mr", "stack_mr"])
+def test_match_produces_feasible_output(
+    corpus_dir, tmp_path, capsys, algorithm
+):
+    matching_path = str(tmp_path / f"{algorithm}.tsv")
+    caps_path = str(tmp_path / f"{algorithm}-caps.tsv")
+    code = main(
+        [
+            "match",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--algorithm",
+            algorithm,
+            "--out",
+            matching_path,
+            "--capacities-out",
+            caps_path,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "value=" in out
+    matched = list(read_edges(matching_path))
+    assert matched
+    from repro.graph import check_matching, read_capacities
+    from repro.graph.edges import edge_key
+
+    capacities = read_capacities(caps_path)
+    report = check_matching(
+        capacities, [edge_key(u, v) for u, v, _ in matched]
+    )
+    if algorithm == "greedy_mr":
+        assert report.feasible
+    else:
+        assert report.average_violation <= 0.10
+
+
+def test_experiment_subcommand(capsys):
+    code = main(
+        ["experiment", "--scale", "0.05", "--only", "table1"]
+    )
+    assert code == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(SystemExit):
+        main(["generate", "imdb", "--out", "/tmp/x"])

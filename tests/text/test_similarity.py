@@ -1,0 +1,32 @@
+"""Tests for similarity functions."""
+
+import pytest
+from hypothesis import given
+
+from repro.text import cosine_similarity, dot_similarity
+
+from ..strategies import sparse_vectors
+
+
+def test_dot_similarity_is_dot():
+    assert dot_similarity({"a": 2.0}, {"a": 3.0}) == 6.0
+
+
+def test_cosine_bounds_and_zero_vectors():
+    assert cosine_similarity({}, {"a": 1.0}) == 0.0
+    assert cosine_similarity({"a": 1.0}, {"a": 5.0}) == pytest.approx(1.0)
+
+
+def test_cosine_orthogonal():
+    assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+
+@given(a=sparse_vectors(), b=sparse_vectors())
+def test_cosine_in_unit_interval(a, b):
+    value = cosine_similarity(a, b)
+    assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(a=sparse_vectors())
+def test_cosine_self_is_one(a):
+    assert cosine_similarity(a, a) == pytest.approx(1.0)

@@ -1,0 +1,59 @@
+"""Tests for the Porter-style stemmer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import stem
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", max_size=15)
+
+
+def test_plurals_conflate():
+    assert stem("caresses") == stem("caress")
+    assert stem("ponies") == stem("poni")
+    assert stem("cats") == stem("cat")
+
+
+def test_ing_and_ed_forms_conflate():
+    assert stem("matching") == stem("match")
+    assert stem("matched") == stem("match")
+    assert stem("hopping") == stem("hop")
+    assert stem("plastered") == stem("plaster")
+
+
+def test_agreed_keeps_ee():
+    assert stem("agreed") == "agree"
+    assert stem("feed") == "feed"  # measure 0: unchanged
+
+
+def test_y_to_i():
+    assert stem("happy") == "happi"
+    assert stem("sky") == "sky"  # no vowel before y
+
+
+def test_derivational_suffixes():
+    assert stem("relational") == stem("relate")
+    assert stem("optimization") == stem("optimize")
+    assert stem("goodness") == stem("good")
+
+
+def test_short_words_untouched():
+    assert stem("go") == "go"
+    assert stem("a") == "a"
+
+
+@given(word=words)
+def test_stemmer_never_crashes_and_never_grows_much(word):
+    result = stem(word)
+    assert isinstance(result, str)
+    # may add at most one character (e.g. "hopp" -> "hope" rules)
+    assert len(result) <= len(word) + 1
+
+
+@given(word=words)
+def test_stemmer_is_idempotent_on_common_cases(word):
+    # Not a theorem of Porter, but holds for our rule subset on pure
+    # lowercase input after two applications (fixpoint check).
+    once = stem(word)
+    twice = stem(once)
+    assert stem(twice) == twice

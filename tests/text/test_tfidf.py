@@ -1,0 +1,62 @@
+"""Tests for tf·idf weighting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import TfIdfModel, document_frequencies, idf_weights
+
+from ..strategies import sparse_vectors
+
+
+def test_document_frequencies():
+    docs = [{"a": 1.0, "b": 2.0}, {"a": 5.0}, {"b": 1.0, "c": 1.0}]
+    assert document_frequencies(docs) == {"a": 2, "b": 2, "c": 1}
+
+
+def test_idf_rarer_terms_weigh_more():
+    idf = idf_weights({"common": 90, "rare": 2}, 100)
+    assert idf["rare"] > idf["common"] > 0
+
+
+def test_idf_rejects_negative_corpus():
+    with pytest.raises(ValueError):
+        idf_weights({"a": 1}, -1)
+
+
+def test_model_fit_transform():
+    model = TfIdfModel.fit(
+        [{"a": 1.0}, {"a": 1.0, "b": 1.0}, {"a": 1.0, "c": 1.0}]
+    )
+    vec = model.transform({"a": 1.0, "b": 1.0})
+    assert vec["b"] > vec["a"]
+
+
+def test_transform_unknown_term_uses_default():
+    model = TfIdfModel.fit([{"a": 1.0}])
+    vec = model.transform({"zzz": 1.0})
+    assert vec["zzz"] == pytest.approx(model.default_idf)
+
+
+def test_transform_damps_high_tf():
+    model = TfIdfModel.fit([{"a": 1.0}])
+    low = model.transform({"a": 1.0})["a"]
+    high = model.transform({"a": 100.0})["a"]
+    assert high < 100 * low
+    assert high == pytest.approx((1 + math.log(100.0)) * low)
+
+
+def test_transform_drops_nonpositive_tf():
+    model = TfIdfModel.fit([{"a": 1.0}])
+    assert model.transform({"a": 0.0}) == {}
+
+
+@given(docs=st.lists(sparse_vectors(), min_size=1, max_size=6))
+def test_transform_preserves_support(docs):
+    model = TfIdfModel.fit(docs)
+    for doc in docs:
+        transformed = model.transform(doc)
+        assert set(transformed) == set(doc)
+        assert all(w > 0 for w in transformed.values())

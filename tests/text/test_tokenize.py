@@ -1,0 +1,41 @@
+"""Tests for tokenization and stop-word removal."""
+
+from repro.text import remove_stop_words, tokenize
+
+
+def test_tokenize_lowercases_and_strips_punctuation():
+    assert tokenize("Hello, World! It's 2011.") == [
+        "hello",
+        "world",
+        "it",
+        "s",
+        "2011",
+    ]
+
+
+def test_tokenize_empty_and_punctuation_only():
+    assert tokenize("") == []
+    assert tokenize("!!! --- ...") == []
+
+
+def test_tokenize_keeps_digits():
+    assert tokenize("web2.0 rocks") == ["web2", "0", "rocks"]
+
+
+def test_stop_words_removed():
+    tokens = tokenize("the quick brown fox is over the lazy dog")
+    cleaned = remove_stop_words(tokens)
+    assert "the" not in cleaned
+    assert "is" not in cleaned
+    assert "quick" in cleaned and "fox" in cleaned
+
+
+def test_single_characters_removed():
+    assert remove_stop_words(["a", "b", "xy"]) == ["xy"]
+
+
+def test_custom_stop_words():
+    cleaned = remove_stop_words(
+        ["foo", "bar"], stop_words=frozenset({"foo"})
+    )
+    assert cleaned == ["bar"]
