@@ -65,6 +65,34 @@ def test_runtime_shuffle_wordcount(benchmark):
     assert result
 
 
+@pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+def test_runtime_backend_comparison(benchmark, backend):
+    """Same wordcount on each execution backend (results identical).
+
+    The interesting quantities are the relative wall times: ``threads``
+    measures dispatch overhead under the GIL, ``processes`` measures
+    pickling plus true CPU parallelism across 8 map / 8 reduce tasks.
+    """
+    rng = random.Random(0)
+    words = [f"w{rng.randint(0, 2000)}" for _ in range(40000)]
+    records = [
+        (i, " ".join(words[i : i + 20])) for i in range(0, 40000, 20)
+    ]
+    runtime = MapReduceRuntime(
+        num_map_tasks=8, num_reduce_tasks=8, backend=backend
+    )
+    result = benchmark.pedantic(
+        lambda: runtime.run(_WordCount(), records),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    baseline = MapReduceRuntime(
+        num_map_tasks=8, num_reduce_tasks=8
+    ).run(_WordCount(), records)
+    assert result == baseline
+
+
 def test_simjoin_exact(benchmark, vectors):
     items, consumers = vectors
     rows = benchmark(lambda: exact_similarity_join(items, consumers, 2.0))

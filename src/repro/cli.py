@@ -4,10 +4,14 @@ The CLI mirrors how the paper's system would be operated as batch
 jobs::
 
     repro generate flickr-small --scale 0.2 --out /tmp/fs
-    repro join /tmp/fs --sigma 4.0 --method mapreduce
+    repro join /tmp/fs --sigma 4.0 --method mapreduce --backend threads
     repro match /tmp/fs --sigma 4.0 --alpha 2.0 --algorithm greedy_mr \
-        --out /tmp/fs/matching.tsv
+        --backend processes --out /tmp/fs/matching.tsv
     repro experiment --only fig5 --scale 0.5
+
+``--backend {serial,threads,processes}`` selects the execution backend
+of the simulated cluster for the MapReduce paths (results are
+bit-identical across backends).
 
 ``generate`` persists the item/consumer vectors, activity, and quality
 signals as TSV; ``join`` materializes candidate edges; ``match`` builds
@@ -27,6 +31,7 @@ from typing import Dict, List, Optional
 from .datasets import load_dataset
 from .datasets.registry import DATASETS
 from .graph import BipartiteGraph, write_capacities, write_edges
+from .mapreduce import EXECUTOR_BACKENDS, MapReduceRuntime
 from .matching import ALGORITHMS, solve
 from .simjoin import candidate_edges
 
@@ -113,16 +118,22 @@ def _load_corpus(directory: str):
 
 def _cmd_join(args: argparse.Namespace) -> int:
     items, consumers, _ = _load_corpus(args.corpus)
+    runtime = None
+    if args.method == "mapreduce":
+        runtime = MapReduceRuntime(backend=args.backend)
     start = time.perf_counter()
     edges = candidate_edges(
-        items, consumers, args.sigma, method=args.method
+        items, consumers, args.sigma, method=args.method, runtime=runtime
     )
     elapsed = time.perf_counter() - start
     out = args.out or os.path.join(args.corpus, "edges.tsv")
     write_edges(out, edges)
+    engine = args.method
+    if runtime is not None:
+        engine = f"{args.method}/{runtime.backend}"
     print(
         f"{len(edges)} candidate edges >= {args.sigma} "
-        f"({args.method}, {elapsed:.2f}s) -> {out}"
+        f"({engine}, {elapsed:.2f}s) -> {out}"
     )
     return 0
 
@@ -148,6 +159,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.algorithm.startswith("stack"):
         kwargs["epsilon"] = args.epsilon
         kwargs["seed"] = args.seed
+    if "_mr" in args.algorithm:
+        # Only the MapReduce adaptations take a simulated cluster; the
+        # centralized solvers ignore the backend choice.
+        kwargs["runtime"] = MapReduceRuntime(backend=args.backend)
     start = time.perf_counter()
     result = solve(graph, args.algorithm, **kwargs)
     elapsed = time.perf_counter() - start
@@ -205,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=("auto", "exact", "scipy", "mapreduce"),
     )
+    join.add_argument(
+        "--backend",
+        default="serial",
+        choices=EXECUTOR_BACKENDS,
+        help="execution backend for the simulated cluster "
+        "(mapreduce method only)",
+    )
     join.add_argument("--out")
     join.set_defaults(func=_cmd_join)
 
@@ -218,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="greedy_mr", choices=sorted(ALGORITHMS)
     )
     match.add_argument("--epsilon", type=float, default=1.0)
+    match.add_argument(
+        "--backend",
+        default="serial",
+        choices=EXECUTOR_BACKENDS,
+        help="execution backend for the simulated cluster "
+        "(*_mr algorithms only)",
+    )
     match.add_argument("--seed", type=int, default=0)
     match.add_argument("--out")
     match.add_argument("--capacities-out")

@@ -24,9 +24,19 @@ from .counters import Counters
 from .driver import IterativeDriver
 from .errors import (
     DriverError,
+    ExecutorError,
     JobValidationError,
     MapReduceError,
     RoundLimitExceeded,
+)
+from .executors import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+    shutdown_shared_pools,
 )
 from .hdfs import FileSystemError, InMemoryFileSystem
 from .job import KeyValue, MapReduceJob
@@ -37,6 +47,9 @@ from .runtime import MapReduceRuntime
 __all__ = [
     "Counters",
     "DriverError",
+    "EXECUTOR_BACKENDS",
+    "Executor",
+    "ExecutorError",
     "FileSystemError",
     "HashPartitioner",
     "InMemoryFileSystem",
@@ -48,7 +61,12 @@ __all__ = [
     "MapReduceRuntime",
     "Pipeline",
     "PipelineStage",
+    "ProcessExecutor",
     "RoundLimitExceeded",
+    "SerialExecutor",
+    "ThreadExecutor",
     "canonical_bytes",
+    "resolve_executor",
+    "shutdown_shared_pools",
     "stable_hash",
 ]

@@ -5,11 +5,21 @@ analyses the *communication cost* of each job (``O(|E|)`` records for the
 matching jobs).  :class:`Counters` meters both quantities: every simulated
 job increments global and per-job counters for input/output/shuffled
 records, and drivers count rounds.
+
+Counters are the unit of *task-local metering* for the parallel
+execution backends (see :mod:`repro.mapreduce.executors`): each task
+attempt increments a private ``Counters`` instance, which the runtime
+:meth:`~Counters.merge`\\ s into the shared instance in task-index order
+once the task completes.  Because merging is pure integer addition —
+commutative and associative — the merged totals are identical across
+backends and regardless of completion order; deterministic merge order
+makes the equivalence exact by construction rather than merely in
+aggregate.  Instances are picklable so tasks can return them across
+process boundaries.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterator, Tuple
 
 __all__ = ["Counters"]
@@ -29,13 +39,12 @@ class Counters:
     """
 
     def __init__(self) -> None:
-        self._groups: Dict[str, Dict[str, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
+        self._groups: Dict[str, Dict[str, int]] = {}
 
     def increment(self, group: str, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` in ``group``."""
-        self._groups[group][name] += amount
+        names = self._groups.setdefault(group, {})
+        names[name] = names.get(name, 0) + amount
 
     def get(self, group: str, name: str) -> int:
         """Return the current value of a counter (0 if never incremented)."""
@@ -46,10 +55,15 @@ class Counters:
         return dict(self._groups.get(group, {}))
 
     def merge(self, other: "Counters") -> None:
-        """Add every counter of ``other`` into this instance."""
+        """Add every counter of ``other`` into this instance.
+
+        This is how per-task counters reach the runtime's shared
+        instance; it never aliases ``other``'s storage.
+        """
         for group, names in other._groups.items():
+            mine = self._groups.setdefault(group, {})
             for name, value in names.items():
-                self._groups[group][name] += value
+                mine[name] = mine.get(name, 0) + value
 
     def snapshot(self) -> Dict[str, Dict[str, int]]:
         """Export all counters as plain nested dictionaries."""

@@ -52,6 +52,16 @@ class IterativeDriver(Generic[State]):
         """The counters of the underlying runtime."""
         return self.runtime.counters
 
+    @property
+    def backend(self) -> str:
+        """Execution backend of the underlying runtime.
+
+        Every job launched by every round runs on this backend; the
+        driver itself is backend-agnostic, so iterative results are
+        bit-identical across ``serial``/``threads``/``processes``.
+        """
+        return self.runtime.backend
+
     def iterate(self, step: RoundFunction, initial: State) -> State:
         """Run ``step`` until it reports completion and return the state."""
         state = initial

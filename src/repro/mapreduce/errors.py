@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "MapReduceError",
     "JobValidationError",
+    "ExecutorError",
     "DriverError",
     "RoundLimitExceeded",
 ]
@@ -24,6 +25,16 @@ class JobValidationError(MapReduceError):
 
     Raised, for example, when a job emits a non-iterable from ``map`` or
     when the runtime is constructed with a non-positive number of tasks.
+    """
+
+
+class ExecutorError(MapReduceError):
+    """An execution backend failed for infrastructure reasons.
+
+    Raised when a backend cannot run tasks at all — an unknown backend
+    name, a broken worker pool, or (for the ``processes`` backend) a job
+    whose tasks cannot be pickled.  Errors raised *by* job code keep
+    their original type and traverse the backend unchanged.
     """
 
 

@@ -1,0 +1,281 @@
+"""Pluggable task-execution backends for the MapReduce runtime.
+
+The runtime decomposes every job into *independent tasks* (map tasks,
+reduce tasks) and hands each batch to an :class:`Executor`.  Three
+backends are provided:
+
+* :class:`SerialExecutor` — run tasks inline, one after another (the
+  default; zero overhead, ideal for small inputs and for debugging);
+* :class:`ThreadExecutor` — run tasks on a shared thread pool (cheap
+  dispatch; parallel speedups where task bodies release the GIL);
+* :class:`ProcessExecutor` — run tasks on a shared process pool
+  (true CPU parallelism; tasks, jobs, and records must be picklable).
+
+The contract every backend obeys — and the reason results are
+bit-identical across backends — is:
+
+1. ``run_tasks(fn, tasks)`` returns ``[fn(*task) for task in tasks]``
+   *in input order*, regardless of completion order;
+2. an exception raised by a task propagates to the caller as the
+   original exception instance (the first one in task order);
+3. backends never share mutable state between tasks: each task meters
+   into its own :class:`~repro.mapreduce.counters.Counters`, and the
+   runtime merges them deterministically in task-index order.
+
+Worker pools are lazy, module-level, and shared across executor
+instances (keyed by kind and size), so constructing many runtimes — as
+property-based tests do — does not fork a pool per instance.  Because
+pools are shared, individual executors own no resources to release;
+the one release point is :func:`shutdown_shared_pools` (also
+registered ``atexit``), after which pools are lazily recreated on the
+next use.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .errors import ExecutorError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_BACKENDS",
+    "resolve_executor",
+    "shutdown_shared_pools",
+]
+
+#: One task: the positional arguments applied to the task function.
+Task = Tuple[Any, ...]
+TaskFunction = Callable[..., Any]
+
+#: Canonical backend names accepted by :func:`resolve_executor` (and
+#: therefore by ``MapReduceRuntime(backend=...)`` and the CLI).
+EXECUTOR_BACKENDS = ("serial", "threads", "processes")
+
+
+class Executor:
+    """Strategy interface for executing a batch of independent tasks."""
+
+    #: Canonical backend name, e.g. ``"serial"``.
+    name: str = "abstract"
+
+    def run_tasks(
+        self, fn: TaskFunction, tasks: Sequence[Task]
+    ) -> List[Any]:
+        """Return ``[fn(*task) for task in tasks]`` in input order."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run every task inline in the calling thread (default backend)."""
+
+    name = "serial"
+
+    def run_tasks(
+        self, fn: TaskFunction, tasks: Sequence[Task]
+    ) -> List[Any]:
+        return [fn(*task) for task in tasks]
+
+
+# -- shared pools ----------------------------------------------------------
+
+_POOL_LOCK = threading.Lock()
+_SHARED_POOLS: Dict[Tuple[str, int], Any] = {}
+
+
+def _default_workers() -> int:
+    return min(os.cpu_count() or 1, 8)
+
+
+def _shared_pool(kind: str, max_workers: int) -> Any:
+    """Return (creating lazily) the shared pool for ``(kind, size)``."""
+    key = (kind, max_workers)
+    with _POOL_LOCK:
+        pool = _SHARED_POOLS.get(key)
+        if pool is None:
+            if kind == "threads":
+                pool = ThreadPoolExecutor(
+                    max_workers=max_workers,
+                    thread_name_prefix="repro-mr",
+                )
+            else:
+                # The platform-default start method: fork on older
+                # Linux Pythons, forkserver/spawn elsewhere (safer in a
+                # process that also runs shared thread pools).  Under
+                # non-fork start methods jobs must live in importable
+                # modules — the same constraint pickling imposes anyway.
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+            _SHARED_POOLS[key] = pool
+        return pool
+
+
+def _evict_pool(kind: str, max_workers: int) -> None:
+    with _POOL_LOCK:
+        pool = _SHARED_POOLS.pop((kind, max_workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every shared worker pool (also registered atexit)."""
+    with _POOL_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_shared_pools)
+
+
+class ThreadExecutor(Executor):
+    """Run tasks on a shared :class:`ThreadPoolExecutor`."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers or _default_workers()
+
+    def run_tasks(
+        self, fn: TaskFunction, tasks: Sequence[Task]
+    ) -> List[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool = _shared_pool("threads", self.max_workers)
+        futures = [pool.submit(fn, *task) for task in tasks]
+        # Collect in submission order so the first task-order failure
+        # raises, mirroring the serial backend's error determinism.
+        return [future.result() for future in futures]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadExecutor(max_workers={self.max_workers})"
+
+
+def _run_guarded(fn: TaskFunction, task: Task) -> Tuple[bool, Any]:
+    """Process-pool trampoline: capture task errors as return values.
+
+    Returning ``(False, exc)`` instead of raising keeps the *original*
+    exception instance intact across the process boundary, so a
+    ``JobValidationError`` raised inside a worker surfaces to the caller
+    as a ``JobValidationError`` — not as a pool plumbing error.
+    """
+    try:
+        return True, fn(*task)
+    except Exception as exc:
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = ExecutorError(
+                f"task raised unpicklable {type(exc).__name__}: {exc}"
+            )
+        return False, exc
+
+
+class ProcessExecutor(Executor):
+    """Run tasks on a shared :class:`ProcessPoolExecutor`.
+
+    Task functions, jobs (including their side data), and all records
+    must be picklable; violations raise :class:`ExecutorError` with the
+    offending detail rather than a bare pool error.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers or _default_workers()
+
+    def run_tasks(
+        self, fn: TaskFunction, tasks: Sequence[Task]
+    ) -> List[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool = _shared_pool("processes", self.max_workers)
+        futures = [pool.submit(_run_guarded, fn, task) for task in tasks]
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:
+                # _run_guarded converts job errors into values, so an
+                # exception here is infrastructure: unpicklable inputs
+                # or a broken pool.
+                if isinstance(exc, BrokenExecutor):
+                    _evict_pool("processes", self.max_workers)
+                name = getattr(fn, "__name__", str(fn))
+                raise ExecutorError(
+                    f"processes backend could not execute {name!r}: "
+                    f"{exc} (jobs, side data, and records must be "
+                    "picklable — define jobs at module level)"
+                ) from exc
+        results = []
+        for ok, value in outcomes:
+            if not ok:
+                raise value
+            results.append(value)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+_BACKEND_ALIASES = {
+    "serial": "serial",
+    "sequential": "serial",
+    "sync": "serial",
+    "threads": "threads",
+    "thread": "threads",
+    "threading": "threads",
+    "processes": "processes",
+    "process": "processes",
+    "multiprocessing": "processes",
+    "mp": "processes",
+}
+
+_BACKEND_CLASSES = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+
+def resolve_executor(
+    backend: Union[str, Executor, None],
+    max_workers: Optional[int] = None,
+) -> Executor:
+    """Turn a backend name (or an :class:`Executor`) into an executor.
+
+    ``None`` selects the serial backend.  Unknown names raise
+    :class:`ExecutorError` listing :data:`EXECUTOR_BACKENDS`.
+    """
+    if backend is None:
+        return SerialExecutor()
+    if isinstance(backend, Executor):
+        return backend
+    if isinstance(backend, str):
+        canonical = _BACKEND_ALIASES.get(backend.strip().lower())
+        if canonical is not None:
+            cls = _BACKEND_CLASSES[canonical]
+            if cls is SerialExecutor:
+                return cls()
+            return cls(max_workers=max_workers)
+    raise ExecutorError(
+        f"unknown executor backend {backend!r}; "
+        f"known backends: {', '.join(EXECUTOR_BACKENDS)}"
+    )

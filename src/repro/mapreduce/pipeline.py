@@ -43,6 +43,10 @@ class PipelineStage:
 class Pipeline:
     """Run a sequence of stages on a runtime + filesystem pair.
 
+    ``backend`` selects the execution backend (``"serial"``,
+    ``"threads"``, ``"processes"``) when no runtime is supplied; a
+    supplied runtime brings its own backend.
+
     >>> fs = InMemoryFileSystem()
     >>> _ = fs.write("/in", [(0, "a b a")])
     >>> # pipeline = Pipeline(runtime, fs); pipeline.add(job, ["/in"], "/out")
@@ -52,8 +56,16 @@ class Pipeline:
         self,
         runtime: Optional[MapReduceRuntime] = None,
         filesystem: Optional[InMemoryFileSystem] = None,
+        backend: Optional[str] = None,
     ) -> None:
-        self.runtime = runtime or MapReduceRuntime()
+        if runtime is not None and backend is not None:
+            raise MapReduceError(
+                "pass either a runtime or a backend name, not both "
+                "(the runtime already fixes its backend)"
+            )
+        self.runtime = runtime or MapReduceRuntime(
+            backend=backend or "serial"
+        )
         self.filesystem = filesystem or InMemoryFileSystem()
         self.stages: List[PipelineStage] = []
         self.records_out: Dict[str, int] = {}

@@ -1,4 +1,4 @@
-"""An in-process MapReduce cluster simulator.
+"""An in-process MapReduce cluster simulator with pluggable executors.
 
 This is the substrate substituting for Hadoop in the reproduction (see
 DESIGN.md): it enforces the MapReduce programming model strictly —
@@ -13,6 +13,34 @@ The simulator meters the quantities the paper reports — number of jobs
 executed and records shuffled — through :class:`~repro.mapreduce.counters.
 Counters`.  Results are guaranteed to be independent of the number of map
 and reduce tasks (property-tested in ``tests/mapreduce``).
+
+Execution model
+---------------
+
+The runtime is faithful to MapReduce's *execution* model as well as its
+programming model: every phase is decomposed into independent task
+units and dispatched through an :class:`~repro.mapreduce.executors.
+Executor` (``backend="serial" | "threads" | "processes"``).
+
+* A **map task** is one unit of work: it applies ``job.map`` to every
+  record of its split, optionally re-executes itself speculatively and
+  compares the attempts (the statelessness check a real cluster's
+  task retries would perform), applies the combiner to its own output,
+  and meters into a *task-local* :class:`Counters`.
+* The **shuffle** routes each intermediate record to its reduce
+  partition with the deterministic hash partitioner (pure data
+  movement, performed by the driver).
+* A **reduce task** is one unit of work per partition: it sorts its
+  partition by the canonical key order, groups, applies ``job.reduce``
+  to each group, and meters into a task-local :class:`Counters`.
+
+Determinism contract: the runtime collects task results and merges
+task-local counters *in task-index order*, so outputs, ``job_log``, and
+counter totals are bit-identical across backends and worker counts
+(property-tested in ``tests/mapreduce/test_executors.py``).  Because
+tasks may execute in separate processes, jobs must be stateless and —
+for the ``processes`` backend — picklable together with their side data
+and records.
 """
 
 from __future__ import annotations
@@ -22,6 +50,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .counters import Counters
 from .errors import JobValidationError
+from .executors import Executor, resolve_executor
 from .job import KeyValue, MapReduceJob
 from .partitioner import HashPartitioner, canonical_bytes
 
@@ -37,7 +66,7 @@ class MapReduceRuntime:
     ----------
     num_map_tasks, num_reduce_tasks:
         Degree of simulated parallelism.  Results never depend on these,
-        only the simulated task boundaries do.
+        only the task boundaries do.
     counters:
         Optional shared :class:`Counters`; a fresh one is created if
         omitted.  All jobs run by this runtime meter into it.
@@ -53,6 +82,14 @@ class MapReduceRuntime:
         outputs must match exactly.  This catches jobs that violate the
         statelessness contract — the silent-corruption class of bug on
         a real cluster.  Costs 2x map work; intended for tests.
+    backend:
+        Execution backend for map and reduce tasks: ``"serial"``
+        (default), ``"threads"``, ``"processes"``, or any
+        :class:`~repro.mapreduce.executors.Executor` instance.  Results
+        and counters are bit-identical across backends.
+    max_workers:
+        Worker-pool size for the parallel backends; ignored by
+        ``"serial"`` and by pre-built executor instances.
     """
 
     def __init__(
@@ -63,6 +100,8 @@ class MapReduceRuntime:
         meter_bytes: bool = False,
         partitioner: Optional[Partitioner] = None,
         speculative_execution: bool = False,
+        backend: Any = "serial",
+        max_workers: Optional[int] = None,
     ) -> None:
         if num_map_tasks < 1 or num_reduce_tasks < 1:
             raise JobValidationError("task counts must be positive")
@@ -72,8 +111,16 @@ class MapReduceRuntime:
         self.meter_bytes = meter_bytes
         self.partitioner: Partitioner = partitioner or HashPartitioner()
         self.speculative_execution = speculative_execution
+        self.executor: Executor = resolve_executor(
+            backend, max_workers=max_workers
+        )
         self.jobs_executed = 0
         self.job_log: List[str] = []
+
+    @property
+    def backend(self) -> str:
+        """Canonical name of the active execution backend."""
+        return self.executor.name
 
     # -- public API --------------------------------------------------------
 
@@ -120,66 +167,28 @@ class MapReduceRuntime:
     def _run_map_phase(
         self, job: MapReduceJob, splits: List[List[KeyValue]]
     ) -> List[List[KeyValue]]:
-        """Apply ``job.map`` to every record, one task per split."""
+        """Dispatch one map task per split through the executor."""
+        results = self.executor.run_tasks(
+            _execute_map_task,
+            [
+                (job, split, self.speculative_execution)
+                for split in splits
+            ],
+        )
         intermediate: List[List[KeyValue]] = []
-        group = job.name
-        for split in splits:
-            emitted = self._run_map_task(job, split, group)
-            if self.speculative_execution:
-                speculative = self._run_map_task(
-                    job, split, group, meter=False
-                )
-                if speculative != emitted:
-                    raise JobValidationError(
-                        f"{job.name}.map is non-deterministic: a "
-                        "speculative re-execution of a task produced "
-                        "different output (jobs must be stateless and "
-                        "derive any randomness from their inputs)"
-                    )
-            if job.has_combiner and emitted:
-                emitted = self._run_combiner(job, emitted)
-            self.counters.increment(
-                group, "map.output.records", len(emitted)
-            )
+        for emitted, task_counters in results:
+            self.counters.merge(task_counters)
             intermediate.append(emitted)
         return intermediate
-
-    def _run_map_task(
-        self,
-        job: MapReduceJob,
-        split: List[KeyValue],
-        group: str,
-        meter: bool = True,
-    ) -> List[KeyValue]:
-        """Run one map task (one attempt) over its split."""
-        emitted: List[KeyValue] = []
-        for key, value in split:
-            if meter:
-                self.counters.increment(group, "map.input.records")
-            produced = job.map(key, value)
-            if produced is None:
-                raise JobValidationError(
-                    f"{job.name}.map returned None; return an iterable"
-                )
-            for pair in produced:
-                emitted.append(self._validated_pair(job, pair))
-        return emitted
-
-    def _run_combiner(
-        self, job: MapReduceJob, emitted: List[KeyValue]
-    ) -> List[KeyValue]:
-        """Group one map task's output by key and apply ``job.combine``."""
-        grouped = _group_sorted(_sorted_by_key(emitted))
-        combined: List[KeyValue] = []
-        for key, values in grouped:
-            for pair in job.combine(key, values):
-                combined.append(self._validated_pair(job, pair))
-        return combined
 
     def _shuffle(
         self, job: MapReduceJob, intermediate: List[List[KeyValue]]
     ) -> List[List[KeyValue]]:
-        """Partition, meter, and sort the intermediate records."""
+        """Partition and meter the intermediate records.
+
+        Sorting happens inside each reduce task (the task unit owns its
+        partition's sort, as a real cluster's reducer-side merge does).
+        """
         group = job.name
         partitions: List[List[KeyValue]] = [
             [] for _ in range(self.num_reduce_tasks)
@@ -202,43 +211,119 @@ class MapReduceRuntime:
         self.counters.increment("runtime", "shuffle.records", shuffled)
         if self.meter_bytes:
             self.counters.increment(group, "shuffle.bytes", shuffled_bytes)
-        return [_sorted_by_key(partition) for partition in partitions]
+        return partitions
 
     def _run_reduce_phase(
         self, job: MapReduceJob, partitions: List[List[KeyValue]]
     ) -> List[KeyValue]:
-        """Apply ``job.reduce`` to each key group of each partition."""
-        group = job.name
+        """Dispatch one reduce task per partition through the executor."""
+        results = self.executor.run_tasks(
+            _execute_reduce_task,
+            [(job, partition) for partition in partitions],
+        )
         output: List[KeyValue] = []
-        for partition in partitions:
-            for key, values in _group_sorted(partition):
-                self.counters.increment(group, "reduce.input.groups")
-                produced = job.reduce(key, values)
-                if produced is None:
-                    raise JobValidationError(
-                        f"{job.name}.reduce returned None; return an "
-                        "iterable"
-                    )
-                for pair in produced:
-                    output.append(self._validated_pair(job, pair))
-        self.counters.increment(group, "reduce.output.records", len(output))
+        for task_output, task_counters in results:
+            self.counters.merge(task_counters)
+            output.extend(task_output)
         return output
-
-    # -- helpers ---------------------------------------------------------------
-
-    @staticmethod
-    def _validated_pair(job: MapReduceJob, pair: Any) -> KeyValue:
-        if not isinstance(pair, tuple) or len(pair) != 2:
-            raise JobValidationError(
-                f"{job.name} emitted {pair!r}; emit (key, value) tuples"
-            )
-        return pair
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MapReduceRuntime(map={self.num_map_tasks}, "
-            f"reduce={self.num_reduce_tasks}, jobs={self.jobs_executed})"
+            f"reduce={self.num_reduce_tasks}, "
+            f"backend={self.backend!r}, jobs={self.jobs_executed})"
         )
+
+
+# -- task units of work ------------------------------------------------------
+#
+# Module-level functions (not methods) so the processes backend can
+# pickle them by reference.  Each returns ``(records, Counters)``; the
+# runtime merges the counters in task-index order.
+
+
+def _execute_map_task(
+    job: MapReduceJob, split: List[KeyValue], speculative: bool
+) -> Tuple[List[KeyValue], Counters]:
+    """One map task: map every record, verify retries, combine, meter."""
+    counters = Counters()
+    group = job.name
+    emitted = _attempt_map(job, split, group, counters)
+    if speculative:
+        retry = _attempt_map(job, split, group, None)
+        if retry != emitted:
+            raise JobValidationError(
+                f"{job.name}.map is non-deterministic: a "
+                "speculative re-execution of a task produced "
+                "different output (jobs must be stateless and "
+                "derive any randomness from their inputs)"
+            )
+    if job.has_combiner and emitted:
+        emitted = _apply_combiner(job, emitted)
+    counters.increment(group, "map.output.records", len(emitted))
+    return emitted, counters
+
+
+def _attempt_map(
+    job: MapReduceJob,
+    split: List[KeyValue],
+    group: str,
+    counters: Optional[Counters],
+) -> List[KeyValue]:
+    """Run one attempt of a map task (``counters=None`` for retries)."""
+    emitted: List[KeyValue] = []
+    for key, value in split:
+        if counters is not None:
+            counters.increment(group, "map.input.records")
+        produced = job.map(key, value)
+        if produced is None:
+            raise JobValidationError(
+                f"{job.name}.map returned None; return an iterable"
+            )
+        for pair in produced:
+            emitted.append(_validated_pair(job, pair))
+    return emitted
+
+
+def _apply_combiner(
+    job: MapReduceJob, emitted: List[KeyValue]
+) -> List[KeyValue]:
+    """Group one map task's output by key and apply ``job.combine``."""
+    grouped = _group_sorted(_sorted_by_key(emitted))
+    combined: List[KeyValue] = []
+    for key, values in grouped:
+        for pair in job.combine(key, values):
+            combined.append(_validated_pair(job, pair))
+    return combined
+
+
+def _execute_reduce_task(
+    job: MapReduceJob, partition: List[KeyValue]
+) -> Tuple[List[KeyValue], Counters]:
+    """One reduce task: sort its partition, group, reduce, meter."""
+    counters = Counters()
+    group = job.name
+    output: List[KeyValue] = []
+    for key, values in _group_sorted(_sorted_by_key(partition)):
+        counters.increment(group, "reduce.input.groups")
+        produced = job.reduce(key, values)
+        if produced is None:
+            raise JobValidationError(
+                f"{job.name}.reduce returned None; return an "
+                "iterable"
+            )
+        for pair in produced:
+            output.append(_validated_pair(job, pair))
+    counters.increment(group, "reduce.output.records", len(output))
+    return output, counters
+
+
+def _validated_pair(job: MapReduceJob, pair: Any) -> KeyValue:
+    if not isinstance(pair, tuple) or len(pair) != 2:
+        raise JobValidationError(
+            f"{job.name} emitted {pair!r}; emit (key, value) tuples"
+        )
+    return pair
 
 
 def _sorted_by_key(records: List[KeyValue]) -> List[KeyValue]:

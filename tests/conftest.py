@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -20,12 +21,37 @@ settings.register_profile(
 )
 settings.load_profile("repro")
 
+# Execution backends the `runtime` fixture cycles through.  CI narrows
+# this (e.g. REPRO_TEST_BACKENDS=processes for the smoke job); the
+# default exercises every backend so backend-sensitive regressions
+# surface in the ordinary suite.
+BACKENDS = tuple(
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_TEST_BACKENDS", "serial,threads,processes"
+    ).split(",")
+    if name.strip()
+)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> str:
+    """Each configured execution backend in turn."""
+    return request.param
+
 
 @pytest.fixture
-def runtime() -> MapReduceRuntime:
-    """A default 4x4 simulated cluster with fresh counters."""
+def runtime(backend) -> MapReduceRuntime:
+    """A default 4x4 simulated cluster, parametrized over backends.
+
+    Tests using this fixture run once per execution backend; jobs they
+    submit must therefore be picklable (module-level classes).
+    """
     return MapReduceRuntime(
-        num_map_tasks=4, num_reduce_tasks=4, counters=Counters()
+        num_map_tasks=4,
+        num_reduce_tasks=4,
+        counters=Counters(),
+        backend=backend,
     )
 
 

@@ -1,0 +1,348 @@
+"""Execution backends are observationally equivalent to serial.
+
+The heart of the pluggable-executor contract: for any job, input, and
+task-count choice, the output records, the ``job_log``, and the merged
+counter totals must be *bit-identical* across the ``serial``,
+``threads``, and ``processes`` backends.  These tests also cover the
+failure paths — job errors must traverse the process boundary with
+their original type, and unpicklable work must fail with a diagnosable
+:class:`ExecutorError` rather than a bare pool error.
+"""
+
+import random
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import random_bipartite
+from repro.mapreduce import (
+    EXECUTOR_BACKENDS,
+    Counters,
+    ExecutorError,
+    JobValidationError,
+    MapReduceJob,
+    MapReduceRuntime,
+    Pipeline,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.matching import greedy_mr_b_matching, stack_mr_b_matching
+from repro.simjoin import mapreduce_similarity_join
+
+PARALLEL_BACKENDS = ("threads", "processes")
+
+
+# -- module-level jobs (picklable for the processes backend) ---------------
+
+
+class WordCount(MapReduceJob):
+    has_combiner = True
+
+    def map(self, key, line):
+        for word in line.split():
+            yield word, 1
+
+    def combine(self, word, counts):
+        yield word, sum(counts)
+
+    def reduce(self, word, counts):
+        yield word, sum(counts)
+
+
+class MixedKeys(MapReduceJob):
+    """Exercises heterogeneous keys through the canonical sort order."""
+
+    def map(self, key, value):
+        yield (key % 3, "bucket"), value
+        yield key, value * 2
+
+    def reduce(self, key, values):
+        yield key, sorted(values)
+
+
+class ExplodingMap(MapReduceJob):
+    """Raises a plain ValueError from user map code."""
+
+    def map(self, key, value):
+        raise ValueError("boom in map")
+
+    def reduce(self, key, values):
+        return []
+
+
+class NoneReduce(MapReduceJob):
+    def map(self, key, value):
+        yield key, value
+
+    def reduce(self, key, values):
+        return None
+
+
+class NoneMap(MapReduceJob):
+    def map(self, key, value):
+        return None
+
+    def reduce(self, key, values):
+        return []
+
+
+def _square(x):
+    return x * x
+
+
+def _maybe_fail(x):
+    if x == 3:
+        raise ValueError("task three failed")
+    return x
+
+
+# -- executor unit behavior -------------------------------------------------
+
+
+def test_resolve_executor_names_and_aliases():
+    assert isinstance(resolve_executor("serial"), SerialExecutor)
+    assert isinstance(resolve_executor("threads"), ThreadExecutor)
+    assert isinstance(resolve_executor("processes"), ProcessExecutor)
+    assert isinstance(resolve_executor("multiprocessing"), ProcessExecutor)
+    assert isinstance(resolve_executor(None), SerialExecutor)
+    existing = ThreadExecutor(max_workers=2)
+    assert resolve_executor(existing) is existing
+
+
+def test_resolve_executor_rejects_unknown():
+    with pytest.raises(ExecutorError, match="unknown executor backend"):
+        resolve_executor("gpu")
+    with pytest.raises(ExecutorError, match="serial, threads, processes"):
+        resolve_executor(42)
+
+
+@pytest.mark.parametrize("name", EXECUTOR_BACKENDS)
+def test_run_tasks_preserves_input_order(name):
+    executor = resolve_executor(name, max_workers=3)
+    tasks = [(i,) for i in range(20)]
+    assert executor.run_tasks(_square, tasks) == [
+        i * i for i in range(20)
+    ]
+    assert executor.run_tasks(_square, []) == []
+
+
+@pytest.mark.parametrize("name", EXECUTOR_BACKENDS)
+def test_run_tasks_propagates_original_exception(name):
+    executor = resolve_executor(name, max_workers=2)
+    with pytest.raises(ValueError, match="task three failed"):
+        executor.run_tasks(_maybe_fail, [(i,) for i in range(6)])
+
+
+def test_runtime_exposes_backend_name():
+    assert MapReduceRuntime().backend == "serial"
+    assert MapReduceRuntime(backend="threads").backend == "threads"
+    assert MapReduceRuntime(backend="processes").backend == "processes"
+
+
+def test_shared_pools_recreate_after_shutdown():
+    from repro.mapreduce import shutdown_shared_pools
+
+    records = [(0, "a b a")]
+    baseline = MapReduceRuntime().run(WordCount(), records)
+    runtime = MapReduceRuntime(backend="threads")
+    assert runtime.run(WordCount(), records) == baseline
+    shutdown_shared_pools()
+    # Pools are lazily rebuilt: the same runtime keeps working.
+    assert runtime.run(WordCount(), records) == baseline
+
+
+def test_pipeline_accepts_backend_name():
+    pipeline = Pipeline(backend="threads")
+    assert pipeline.runtime.backend == "threads"
+    with pytest.raises(Exception, match="not both"):
+        Pipeline(runtime=MapReduceRuntime(), backend="threads")
+
+
+def test_counters_survive_pickling():
+    counters = Counters()
+    counters.increment("g", "a", 7)
+    counters.increment("h", "b", 2)
+    clone = pickle.loads(pickle.dumps(counters))
+    assert clone.snapshot() == counters.snapshot()
+    clone.increment("g", "a")
+    assert counters.get("g", "a") == 7
+
+
+# -- the bit-identical equivalence property --------------------------------
+
+
+def _observe(job_factory, records, maps, reduces, backend):
+    """Run a job and capture everything observable about the run."""
+    runtime = MapReduceRuntime(
+        num_map_tasks=maps,
+        num_reduce_tasks=reduces,
+        backend=backend,
+        max_workers=3,
+    )
+    output = runtime.run(job_factory(), records)
+    return output, list(runtime.job_log), runtime.counters.snapshot()
+
+
+@given(
+    records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.text(
+                alphabet=st.sampled_from("abcdef "), max_size=20
+            ),
+        ),
+        max_size=30,
+    ),
+    maps=st.integers(min_value=1, max_value=5),
+    reduces=st.integers(min_value=1, max_value=5),
+)
+def test_wordcount_bit_identical_across_backends(records, maps, reduces):
+    baseline = _observe(WordCount, records, maps, reduces, "serial")
+    for backend in PARALLEL_BACKENDS:
+        observed = _observe(WordCount, records, maps, reduces, backend)
+        assert observed == baseline
+
+
+@given(
+    records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        max_size=25,
+    ),
+    maps=st.integers(min_value=1, max_value=4),
+    reduces=st.integers(min_value=1, max_value=7),
+)
+def test_mixed_keys_bit_identical_across_backends(records, maps, reduces):
+    baseline = _observe(MixedKeys, records, maps, reduces, "serial")
+    for backend in PARALLEL_BACKENDS:
+        observed = _observe(MixedKeys, records, maps, reduces, backend)
+        assert observed == baseline
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+@given(
+    records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.text(alphabet=st.sampled_from("xyz "), max_size=12),
+        ),
+        max_size=20,
+    ),
+    maps=st.integers(min_value=1, max_value=5),
+    reduces=st.integers(min_value=1, max_value=5),
+)
+def test_task_count_independence_per_backend(backend, records, maps, reduces):
+    """On every backend, task counts only move task boundaries."""
+    many = _observe(WordCount, records, maps, reduces, backend)
+    one = _observe(WordCount, records, 1, 1, backend)
+    assert sorted(many[0]) == sorted(one[0])
+    groups_many = many[2].get("WordCount", {}).get(
+        "reduce.input.groups", 0
+    )
+    groups_one = one[2].get("WordCount", {}).get("reduce.input.groups", 0)
+    assert groups_many == groups_one
+
+
+# -- the paper's pipelines run unmodified on every backend -----------------
+
+
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+def test_greedy_mr_identical_across_backends(backend):
+    graph = random_bipartite(
+        12, 9, 0.35, rng=random.Random(7), max_capacity=3
+    )
+    serial = greedy_mr_b_matching(
+        graph, runtime=MapReduceRuntime(backend="serial")
+    )
+    runtime = MapReduceRuntime(backend=backend)
+    parallel = greedy_mr_b_matching(graph, runtime=runtime)
+    assert sorted(parallel.matching) == sorted(serial.matching)
+    assert parallel.value == serial.value
+    assert parallel.rounds == serial.rounds
+    assert parallel.value_history == serial.value_history
+
+
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+def test_stack_mr_identical_across_backends(backend):
+    graph = random_bipartite(
+        10, 8, 0.4, rng=random.Random(3), max_capacity=2
+    )
+    serial = stack_mr_b_matching(
+        graph, seed=5, runtime=MapReduceRuntime(backend="serial")
+    )
+    parallel = stack_mr_b_matching(
+        graph, seed=5, runtime=MapReduceRuntime(backend=backend)
+    )
+    assert sorted(parallel.matching) == sorted(serial.matching)
+    assert parallel.value == serial.value
+    assert parallel.rounds == serial.rounds
+
+
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+def test_simjoin_identical_across_backends(backend):
+    items = {
+        f"t{i}": {f"w{j}": float(1 + (i + j) % 4) for j in range(4)}
+        for i in range(6)
+    }
+    consumers = {
+        f"c{i}": {f"w{j}": float(1 + (i * j) % 3) for j in range(4)}
+        for i in range(5)
+    }
+    serial_runtime = MapReduceRuntime(backend="serial")
+    serial_rows = mapreduce_similarity_join(
+        items, consumers, 4.0, runtime=serial_runtime
+    )
+    runtime = MapReduceRuntime(backend=backend)
+    rows = mapreduce_similarity_join(
+        items, consumers, 4.0, runtime=runtime
+    )
+    assert rows == serial_rows
+    assert runtime.job_log == serial_runtime.job_log
+    assert (
+        runtime.counters.snapshot() == serial_runtime.counters.snapshot()
+    )
+
+
+# -- failure paths ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+def test_map_job_validation_error_surfaces(backend):
+    """The original JobValidationError crosses the backend boundary."""
+    runtime = MapReduceRuntime(backend=backend)
+    with pytest.raises(JobValidationError, match="returned None"):
+        runtime.run(NoneMap(), [(i, i) for i in range(8)])
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+def test_reduce_job_validation_error_surfaces(backend):
+    runtime = MapReduceRuntime(backend=backend)
+    with pytest.raises(JobValidationError, match="returned None"):
+        runtime.run(NoneReduce(), [(i, i) for i in range(8)])
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+def test_user_exception_keeps_its_type(backend):
+    runtime = MapReduceRuntime(backend=backend)
+    with pytest.raises(ValueError, match="boom in map"):
+        runtime.run(ExplodingMap(), [(i, i) for i in range(8)])
+
+
+def test_unpicklable_job_fails_with_executor_error():
+    class LocalJob(MapReduceJob):  # local classes cannot be pickled
+        def map(self, key, value):
+            yield key, value
+
+        def reduce(self, key, values):
+            yield key, list(values)
+
+    runtime = MapReduceRuntime(backend="processes")
+    with pytest.raises(ExecutorError, match="picklable"):
+        runtime.run(LocalJob(), [(1, "a"), (2, "b")])

@@ -47,6 +47,36 @@ class GroupSizes(MapReduceJob):
         yield key, len(values)
 
 
+class UsesSide(MapReduceJob):
+    """Adds a side-data offset to every value (module-level: picklable)."""
+
+    def map(self, key, value):
+        yield key, self.side_data["offset"] + value
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class BadEmit(MapReduceJob):
+    """Emits a bare key instead of a pair (rejected by the runtime)."""
+
+    def map(self, key, value):
+        yield "just-a-key"
+
+    def reduce(self, key, values):
+        return []
+
+
+class BadNone(MapReduceJob):
+    """Returns None from map (rejected by the runtime)."""
+
+    def map(self, key, value):
+        return None
+
+    def reduce(self, key, values):
+        return []
+
+
 LINES = [
     (0, "the quick brown fox"),
     (1, "the lazy dog"),
@@ -131,13 +161,6 @@ def test_meter_bytes_optional():
 
 
 def test_side_data_reaches_job(runtime):
-    class UsesSide(MapReduceJob):
-        def map(self, key, value):
-            yield key, self.side_data["offset"] + value
-
-        def reduce(self, key, values):
-            yield key, sum(values)
-
     output = runtime.run(
         UsesSide(), [("k", 1)], side_data={"offset": 10}
     )
@@ -157,25 +180,11 @@ def test_invalid_input_record_rejected(runtime):
 
 
 def test_map_emitting_non_pair_rejected(runtime):
-    class Bad(MapReduceJob):
-        def map(self, key, value):
-            yield "just-a-key"
-
-        def reduce(self, key, values):
-            return []
-
     with pytest.raises(JobValidationError):
-        runtime.run(Bad(), [("k", "v")])
+        runtime.run(BadEmit(), [("k", "v")])
 
 
 def test_map_returning_none_rejected(runtime):
-    class BadNone(MapReduceJob):
-        def map(self, key, value):
-            return None
-
-        def reduce(self, key, values):
-            return []
-
     with pytest.raises(JobValidationError):
         runtime.run(BadNone(), [("k", "v")])
 

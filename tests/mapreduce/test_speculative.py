@@ -55,27 +55,37 @@ class FreshRandomJob(MapReduceJob):
 RECORDS = [(i, float(i)) for i in range(10)]
 
 
-def test_pure_job_passes_speculative_execution():
-    runtime = MapReduceRuntime(speculative_execution=True)
+def test_pure_job_passes_speculative_execution(backend):
+    runtime = MapReduceRuntime(
+        speculative_execution=True, backend=backend
+    )
     strict = runtime.run(PureJob(), RECORDS)
     relaxed = MapReduceRuntime().run(PureJob(), RECORDS)
     assert sorted(strict) == sorted(relaxed)
 
 
-def test_stateful_job_detected():
-    runtime = MapReduceRuntime(speculative_execution=True)
+def test_stateful_job_detected(backend):
+    # Mismatch detection lives inside the task unit of work, so it
+    # fires identically on the serial, threads, and processes backends.
+    runtime = MapReduceRuntime(
+        speculative_execution=True, backend=backend
+    )
     with pytest.raises(JobValidationError, match="non-deterministic"):
         runtime.run(StatefulJob(), RECORDS)
 
 
-def test_fresh_random_job_detected():
-    runtime = MapReduceRuntime(speculative_execution=True)
+def test_fresh_random_job_detected(backend):
+    runtime = MapReduceRuntime(
+        speculative_execution=True, backend=backend
+    )
     with pytest.raises(JobValidationError, match="non-deterministic"):
         runtime.run(FreshRandomJob(), RECORDS)
 
 
-def test_counters_not_double_metered():
-    runtime = MapReduceRuntime(speculative_execution=True)
+def test_counters_not_double_metered(backend):
+    runtime = MapReduceRuntime(
+        speculative_execution=True, backend=backend
+    )
     runtime.run(PureJob(), RECORDS)
     assert runtime.counters.get("PureJob", "map.input.records") == len(
         RECORDS

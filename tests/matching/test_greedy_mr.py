@@ -85,9 +85,8 @@ def test_value_history_is_anytime():
     assert history[-1] == pytest.approx(result.value)
 
 
-def test_one_job_per_round():
+def test_one_job_per_round(runtime):
     g = star_graph(5, center_capacity=1)
-    runtime = MapReduceRuntime()
     result = greedy_mr_b_matching(g, runtime=runtime)
     assert result.mr_jobs == result.rounds
     assert runtime.jobs_executed == result.rounds

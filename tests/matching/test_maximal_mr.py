@@ -105,8 +105,7 @@ def test_records_builder_filters_dead_nodes():
     assert "z" not in state.adj  # edge to dead node pruned
 
 
-def test_empty_records_no_jobs():
-    runtime = MapReduceRuntime()
+def test_empty_records_no_jobs(runtime):
     matched, rounds = mr_maximal_b_matching([], runtime)
     assert matched == {}
     assert rounds == 0

@@ -93,9 +93,8 @@ def test_algorithm_names_by_strategy():
     )
 
 
-def test_job_accounting():
+def test_job_accounting(runtime):
     g = star_graph(6, center_capacity=2)
-    runtime = MapReduceRuntime()
     result = stack_mr_b_matching(g, runtime=runtime)
     assert result.mr_jobs == runtime.jobs_executed
     assert result.mr_jobs > 0

@@ -31,8 +31,7 @@ def test_mr_join_emits_only_cross_side_pairs():
     assert len(rows) == 4  # no t-t or c-c pairs
 
 
-def test_mr_join_runs_three_jobs():
-    runtime = MapReduceRuntime()
+def test_mr_join_runs_three_jobs(runtime):
     mapreduce_similarity_join(
         {"t1": {"a": 1.0}}, {"c1": {"a": 1.0}}, 0.5, runtime=runtime
     )
