@@ -7,13 +7,20 @@ They track the performance of the simulator itself rather than a paper
 figure.
 """
 
+import json
+import os
 import random
 
 import pytest
 
 from repro.datasets import load_dataset
 from repro.graph import random_bipartite
-from repro.mapreduce import MapReduceJob, MapReduceRuntime
+from repro.mapreduce import (
+    LocalDiskFileSystem,
+    MapReduceJob,
+    MapReduceRuntime,
+    Pipeline,
+)
 from repro.matching import (
     greedy_b_matching,
     maximal_b_matching,
@@ -91,6 +98,132 @@ def test_runtime_backend_comparison(benchmark, backend):
         num_map_tasks=8, num_reduce_tasks=8
     ).run(_WordCount(), records)
     assert result == baseline
+
+
+# -- storage / external-shuffle micro-benchmark -----------------------------
+#
+# Same wordcount pipeline on each storage configuration: in-memory
+# datasets, disk-backed datasets, and disk-backed datasets with the
+# external sort-and-spill shuffle at several thresholds.  Results are
+# identical by contract; the interesting quantities are the relative
+# wall times (the cost of dataset IO and of spilling) and the spill
+# counters.  Rows accumulate in _STORAGE_RESULTS and the final test
+# writes them to BENCH_storage.json next to this file.
+
+_STORAGE_RESULTS = {}
+
+_STORAGE_CONFIGS = [
+    ("memory", "memory", None),
+    ("disk", "disk", None),
+    ("disk-spill-4000", "disk", 4000),
+    ("disk-spill-400", "disk", 400),
+    ("disk-spill-40", "disk", 40),
+]
+
+
+def _shuffle_corpus():
+    rng = random.Random(0)
+    words = [f"w{rng.randint(0, 2000)}" for _ in range(20000)]
+    return [
+        (i, " ".join(words[i : i + 20])) for i in range(0, 20000, 20)
+    ]
+
+
+@pytest.mark.parametrize(
+    "label,storage,threshold",
+    _STORAGE_CONFIGS,
+    ids=[label for label, _, _ in _STORAGE_CONFIGS],
+)
+def test_storage_shuffle_spill(benchmark, tmp_path, label, storage, threshold):
+    records = _shuffle_corpus()
+
+    def run():
+        if storage == "memory":
+            fs = None
+        else:
+            fs = LocalDiskFileSystem(root=str(tmp_path / "dfs"))
+        runtime = MapReduceRuntime(
+            num_map_tasks=8,
+            num_reduce_tasks=8,
+            storage=fs,
+            spill_threshold=threshold,
+            spill_dir=str(tmp_path / "spills"),
+        )
+        pipeline = Pipeline(runtime=runtime)
+        pipeline.filesystem.write("/in", records, overwrite=True)
+        pipeline.add(_WordCount(), ["/in"], "/counts")
+        output = pipeline.run()
+        return output, runtime
+
+    captured = {}
+
+    def timed_run():
+        output, runtime = run()
+        captured["output"] = output
+        captured["runtime"] = runtime
+        return output
+
+    baseline = MapReduceRuntime(
+        num_map_tasks=8, num_reduce_tasks=8
+    ).run(_WordCount(), records)
+    result = benchmark.pedantic(
+        timed_run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result == baseline  # the storage contract, under load
+    output, runtime = captured["output"], captured["runtime"]
+    stats = benchmark.stats.stats  # warmed rounds, not a cold run
+    _STORAGE_RESULTS[label] = {
+        "storage": storage,
+        "spill_threshold": threshold,
+        "seconds": round(stats.mean, 4),
+        "seconds_min": round(stats.min, 4),
+        "records_out": len(output),
+        "shuffle_records": runtime.counters.get(
+            "runtime", "shuffle.records"
+        ),
+        "spilled_records": runtime.counters.get(
+            "runtime", "spilled_records"
+        ),
+        "spill_files": runtime.counters.get("runtime", "spill_files"),
+        "spilled_bytes": runtime.counters.get("runtime", "spilled_bytes"),
+    }
+    # Merge into the results file after every configuration, so both a
+    # partial/filtered run and a full one preserve previously recorded
+    # rows (each label overwrites only itself).
+    recorded = {}
+    if os.path.exists(_STORAGE_JSON):
+        try:
+            with open(_STORAGE_JSON, "r", encoding="utf-8") as handle:
+                recorded = json.load(handle)
+        except ValueError:
+            recorded = {}
+    recorded.update(_STORAGE_RESULTS)
+    with open(_STORAGE_JSON, "w", encoding="utf-8") as handle:
+        json.dump(recorded, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+_STORAGE_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_storage.json"
+)
+
+
+def test_storage_bench_report(report):
+    """Print the accumulated BENCH_storage.json rows."""
+    if not _STORAGE_RESULTS:
+        pytest.skip("storage benchmarks did not run")
+    lines = ["storage shuffle/spill micro-benchmark:"]
+    for label, _, _ in _STORAGE_CONFIGS:
+        row = _STORAGE_RESULTS.get(label)
+        if row is None:
+            continue
+        lines.append(
+            f"  {label:>16}: {row['seconds']:.3f}s "
+            f"spilled={row['spilled_records']} "
+            f"runs={row['spill_files']}"
+        )
+    lines.append(f"  -> {_STORAGE_JSON}")
+    report("\n".join(lines))
 
 
 def test_simjoin_exact(benchmark, vectors):

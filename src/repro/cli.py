@@ -5,18 +5,26 @@ jobs::
 
     repro generate flickr-small --scale 0.2 --out /tmp/fs
     repro join /tmp/fs --sigma 4.0 --method mapreduce --backend threads
+    repro join /tmp/fs --sigma 4.0 --method mapreduce --fs disk \
+        --spill-threshold 1000
     repro match /tmp/fs --sigma 4.0 --alpha 2.0 --algorithm greedy_mr \
         --backend processes --out /tmp/fs/matching.tsv
     repro experiment --only fig5 --scale 0.5
 
 ``--backend {serial,threads,processes}`` selects the execution backend
-of the simulated cluster for the MapReduce paths (results are
-bit-identical across backends).
+of the simulated cluster for the MapReduce paths; ``--fs
+{memory,disk}`` selects its storage backend (inter-job datasets in RAM
+or as on-disk JSONL), and ``--spill-threshold N`` bounds the shuffle
+buffers — map outputs beyond ``N`` records per reduce partition are
+sorted and spilled to disk runs, then k-way merged at reduce time.
+Results are bit-identical across all three knobs; the spill counters
+report the extra IO.
 
 ``generate`` persists the item/consumer vectors, activity, and quality
-signals as TSV; ``join`` materializes candidate edges; ``match`` builds
-the Problem-1 instance (capacities per §4) and writes the matched edges;
-``experiment`` delegates to :mod:`repro.experiments.__main__`.
+signals as TSV (via :mod:`repro.mapreduce.storage.tsvio`); ``join``
+materializes candidate edges; ``match`` builds the Problem-1 instance
+(capacities per §4) and writes the matched edges; ``experiment``
+delegates to :mod:`repro.experiments.__main__`.
 """
 
 from __future__ import annotations
@@ -26,65 +34,54 @@ import json
 import os
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .datasets import load_dataset
 from .datasets.registry import DATASETS
 from .graph import BipartiteGraph, write_capacities, write_edges
-from .mapreduce import EXECUTOR_BACKENDS, MapReduceRuntime
+from .mapreduce import (
+    EXECUTOR_BACKENDS,
+    FILESYSTEM_BACKENDS,
+    MapReduceRuntime,
+)
+from .mapreduce.storage import (
+    read_scalars,
+    read_vectors,
+    write_scalars,
+    write_vectors,
+)
 from .matching import ALGORITHMS, solve
 from .simjoin import candidate_edges
 
 __all__ = ["main", "build_parser"]
 
 
-def _write_vectors(path: str, vectors: Dict[str, Dict[str, float]]) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        for doc in sorted(vectors):
-            handle.write(f"{doc}\t{json.dumps(vectors[doc], sort_keys=True)}\n")
-
-
-def _read_vectors(path: str) -> Dict[str, Dict[str, float]]:
-    vectors: Dict[str, Dict[str, float]] = {}
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            doc, payload = line.split("\t", 1)
-            vectors[doc] = json.loads(payload)
-    return vectors
-
-
-def _read_scalars(path: str) -> Dict[str, float]:
-    scalars: Dict[str, float] = {}
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            key, value = line.split("\t", 1)
-            scalars[key] = float(value)
-    return scalars
-
-
-def _write_scalars(path: str, scalars: Dict[str, float]) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        for key in sorted(scalars):
-            handle.write(f"{key}\t{scalars[key]!r}\n")
+def _spill_summary(runtime: Optional[MapReduceRuntime]) -> str:
+    """A one-line spill report, or '' when nothing spilled."""
+    if runtime is None:
+        return ""
+    spilled = runtime.counters.get("runtime", "spilled_records")
+    if not spilled:
+        return ""
+    files = runtime.counters.get("runtime", "spill_files")
+    size = runtime.counters.get("runtime", "spilled_bytes")
+    return (
+        f"shuffle spilled {spilled} records across {files} runs "
+        f"({size} bytes)"
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     os.makedirs(args.out, exist_ok=True)
-    _write_vectors(os.path.join(args.out, "items.tsv"), dataset.items)
-    _write_vectors(
+    write_vectors(os.path.join(args.out, "items.tsv"), dataset.items)
+    write_vectors(
         os.path.join(args.out, "consumers.tsv"), dataset.consumers
     )
-    _write_scalars(
+    write_scalars(
         os.path.join(args.out, "activity.tsv"), dataset.consumer_activity
     )
-    _write_scalars(
+    write_scalars(
         os.path.join(args.out, "quality.tsv"), dataset.item_quality
     )
     with open(
@@ -107,8 +104,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _load_corpus(directory: str):
-    items = _read_vectors(os.path.join(directory, "items.tsv"))
-    consumers = _read_vectors(os.path.join(directory, "consumers.tsv"))
+    items = read_vectors(os.path.join(directory, "items.tsv"))
+    consumers = read_vectors(os.path.join(directory, "consumers.tsv"))
     with open(
         os.path.join(directory, "meta.json"), "r", encoding="utf-8"
     ) as handle:
@@ -120,7 +117,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
     items, consumers, _ = _load_corpus(args.corpus)
     runtime = None
     if args.method == "mapreduce":
-        runtime = MapReduceRuntime(backend=args.backend)
+        runtime = MapReduceRuntime(
+            backend=args.backend,
+            storage=args.fs,
+            spill_threshold=args.spill_threshold,
+        )
     start = time.perf_counter()
     edges = candidate_edges(
         items, consumers, args.sigma, method=args.method, runtime=runtime
@@ -130,11 +131,16 @@ def _cmd_join(args: argparse.Namespace) -> int:
     write_edges(out, edges)
     engine = args.method
     if runtime is not None:
-        engine = f"{args.method}/{runtime.backend}"
+        engine = f"{args.method}/{runtime.backend}/{runtime.storage}"
     print(
         f"{len(edges)} candidate edges >= {args.sigma} "
         f"({engine}, {elapsed:.2f}s) -> {out}"
     )
+    spill = _spill_summary(runtime)
+    if spill:
+        print(spill)
+    if runtime is not None and runtime.storage == "disk":
+        print(f"dfs root: {runtime.filesystem.root}")
     return 0
 
 
@@ -146,10 +152,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
         name=meta["name"],
         items=items,
         consumers=consumers,
-        consumer_activity=_read_scalars(
+        consumer_activity=read_scalars(
             os.path.join(args.corpus, "activity.tsv")
         ),
-        item_quality=_read_scalars(
+        item_quality=read_scalars(
             os.path.join(args.corpus, "quality.tsv")
         ),
         capacity_scheme=meta["capacity_scheme"],
@@ -159,10 +165,25 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.algorithm.startswith("stack"):
         kwargs["epsilon"] = args.epsilon
         kwargs["seed"] = args.seed
+    runtime = None
     if "_mr" in args.algorithm:
         # Only the MapReduce adaptations take a simulated cluster; the
-        # centralized solvers ignore the backend choice.
-        kwargs["runtime"] = MapReduceRuntime(backend=args.backend)
+        # centralized solvers ignore the backend/storage choices.  The
+        # *_mr drivers stream node records driver-side round to round —
+        # they write no inter-job datasets — so a disk filesystem would
+        # sit unused; --spill-threshold still bounds every round's
+        # shuffle.
+        if args.fs != "memory":
+            print(
+                f"note: --fs {args.fs} has no effect on 'match' (the "
+                "*_mr drivers keep round state driver-side); "
+                "--spill-threshold still applies"
+            )
+        runtime = MapReduceRuntime(
+            backend=args.backend,
+            spill_threshold=args.spill_threshold,
+        )
+        kwargs["runtime"] = runtime
     start = time.perf_counter()
     result = solve(graph, args.algorithm, **kwargs)
     elapsed = time.perf_counter() - start
@@ -176,6 +197,9 @@ def _cmd_match(args: argparse.Namespace) -> int:
         f"avg_violation={report.average_violation:.4f} "
         f"({elapsed:.2f}s) -> {out}"
     )
+    spill = _spill_summary(runtime)
+    if spill:
+        print(spill)
     if args.capacities_out:
         write_capacities(args.capacities_out, graph.capacities())
     return 0
@@ -188,6 +212,52 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.only:
         argv += ["--only", args.only]
     return experiments_main(argv)
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type for --spill-threshold: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, got {value}"
+        )
+    return value
+
+
+def _add_cluster_options(
+    parser: argparse.ArgumentParser, applies_to: str
+) -> None:
+    """The simulated-cluster knobs shared by ``join`` and ``match``."""
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=EXECUTOR_BACKENDS,
+        help="execution backend for the simulated cluster "
+        f"({applies_to})",
+    )
+    parser.add_argument(
+        "--fs",
+        default="memory",
+        choices=FILESYSTEM_BACKENDS,
+        help="storage backend for inter-job datasets: 'memory' keeps "
+        "them in RAM, 'disk' persists them as JSONL under a "
+        f"temporary dfs root ({applies_to})",
+    )
+    parser.add_argument(
+        "--spill-threshold",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="external shuffle: sort-and-spill a reduce partition's "
+        "map outputs to disk runs once its buffer exceeds N records "
+        "(default: keep the whole shuffle in memory; results are "
+        "identical either way)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -220,13 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=("auto", "exact", "scipy", "mapreduce"),
     )
-    join.add_argument(
-        "--backend",
-        default="serial",
-        choices=EXECUTOR_BACKENDS,
-        help="execution backend for the simulated cluster "
-        "(mapreduce method only)",
-    )
+    _add_cluster_options(join, "mapreduce method only")
     join.add_argument("--out")
     join.set_defaults(func=_cmd_join)
 
@@ -240,13 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="greedy_mr", choices=sorted(ALGORITHMS)
     )
     match.add_argument("--epsilon", type=float, default=1.0)
-    match.add_argument(
-        "--backend",
-        default="serial",
-        choices=EXECUTOR_BACKENDS,
-        help="execution backend for the simulated cluster "
-        "(*_mr algorithms only)",
-    )
+    _add_cluster_options(match, "*_mr algorithms only")
     match.add_argument("--seed", type=int, default=0)
     match.add_argument("--out")
     match.add_argument("--capacities-out")

@@ -16,6 +16,13 @@ Public API::
     runtime = MapReduceRuntime(num_map_tasks=4, num_reduce_tasks=4)
     output = runtime.run(WordCount(), [(0, "a b a")])
 
+Both halves of the execution model are pluggable: compute via
+``backend="serial" | "threads" | "processes"`` (see
+:mod:`repro.mapreduce.executors`) and storage via ``storage="memory" |
+"disk"`` plus ``spill_threshold=`` for the external sort-and-spill
+shuffle (see :mod:`repro.mapreduce.storage`).  Results are
+bit-identical across every combination.
+
 See DESIGN.md (substitution table) for how this simulator stands in for
 the Hadoop cluster used in the paper's evaluation.
 """
@@ -38,24 +45,40 @@ from .executors import (
     resolve_executor,
     shutdown_shared_pools,
 )
-from .hdfs import FileSystemError, InMemoryFileSystem
 from .job import KeyValue, MapReduceJob
 from .partitioner import HashPartitioner, canonical_bytes, stable_hash
 from .pipeline import Pipeline, PipelineStage
 from .runtime import MapReduceRuntime
+from .storage import (
+    FILESYSTEM_BACKENDS,
+    SPILL_COUNTERS,
+    DatasetStats,
+    ExternalShuffle,
+    FileSystem,
+    FileSystemError,
+    InMemoryFileSystem,
+    LocalDiskFileSystem,
+    resolve_filesystem,
+    strip_spill_counters,
+)
 
 __all__ = [
     "Counters",
+    "DatasetStats",
     "DriverError",
     "EXECUTOR_BACKENDS",
     "Executor",
     "ExecutorError",
+    "ExternalShuffle",
+    "FILESYSTEM_BACKENDS",
+    "FileSystem",
     "FileSystemError",
     "HashPartitioner",
     "InMemoryFileSystem",
     "IterativeDriver",
     "JobValidationError",
     "KeyValue",
+    "LocalDiskFileSystem",
     "MapReduceError",
     "MapReduceJob",
     "MapReduceRuntime",
@@ -63,10 +86,13 @@ __all__ = [
     "PipelineStage",
     "ProcessExecutor",
     "RoundLimitExceeded",
+    "SPILL_COUNTERS",
     "SerialExecutor",
     "ThreadExecutor",
     "canonical_bytes",
     "resolve_executor",
+    "resolve_filesystem",
     "shutdown_shared_pools",
     "stable_hash",
+    "strip_spill_counters",
 ]

@@ -15,6 +15,7 @@ from typing import Callable, Generic, List, Optional, Tuple, TypeVar
 from .counters import Counters
 from .errors import RoundLimitExceeded
 from .runtime import MapReduceRuntime
+from .storage import FileSystem
 
 __all__ = ["IterativeDriver"]
 
@@ -61,6 +62,23 @@ class IterativeDriver(Generic[State]):
         bit-identical across ``serial``/``threads``/``processes``.
         """
         return self.runtime.backend
+
+    @property
+    def filesystem(self) -> FileSystem:
+        """The storage backend of the underlying runtime.
+
+        Rounds that persist per-iteration datasets (checkpoints,
+        any-time snapshots) write here, so a driver constructed over a
+        disk-backed runtime is out-of-core end to end.  Like
+        :attr:`backend`, the driver is storage-agnostic: results are
+        bit-identical across ``memory``/``disk``.
+        """
+        return self.runtime.filesystem
+
+    @property
+    def storage(self) -> str:
+        """Canonical name of the runtime's storage backend."""
+        return self.runtime.storage
 
     def iterate(self, step: RoundFunction, initial: State) -> State:
         """Run ``step`` until it reports completion and return the state."""

@@ -1,118 +1,26 @@
-"""An in-memory distributed-filesystem abstraction.
+"""Backward-compatible alias of the storage subsystem's public names.
 
-Real MapReduce jobs communicate through a distributed filesystem: each
-job reads one or more input paths and writes an output path (§3.1:
-"MapReduce assumes a distributed file system from which the map
-instances retrieve the input").  :class:`InMemoryFileSystem` models
-that contract — named, immutable-once-closed datasets of key-value
-records — so multi-job pipelines (similarity join, the matching loops)
-can be expressed the way they are deployed, and tests can assert what
-each stage persisted.
+The in-memory filesystem (and its error type) originally lived here;
+the storage layer has since grown into the :mod:`repro.mapreduce.
+storage` package — a pluggable ``FileSystem`` contract with in-memory
+and on-disk implementations plus the external sort-and-spill shuffle.
+This module re-exports the original names so existing imports keep
+working; new code should import from :mod:`repro.mapreduce.storage`
+(or :mod:`repro.mapreduce`) directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Tuple
+from .storage import (
+    FileSystem,
+    FileSystemError,
+    InMemoryFileSystem,
+    LocalDiskFileSystem,
+)
 
-from .errors import MapReduceError
-from .job import KeyValue
-
-__all__ = ["FileSystemError", "InMemoryFileSystem"]
-
-
-class FileSystemError(MapReduceError):
-    """Raised for missing paths, overwrites, and malformed names."""
-
-
-def _validate_path(path: str) -> str:
-    if not path or not path.startswith("/"):
-        raise FileSystemError(
-            f"paths must be absolute (start with '/'), got {path!r}"
-        )
-    if path.endswith("/"):
-        raise FileSystemError(f"paths must not end with '/': {path!r}")
-    return path
-
-
-class InMemoryFileSystem:
-    """A flat namespace of record datasets, with HDFS-like semantics.
-
-    * datasets are written once (no in-place mutation — jobs that need
-      to update state write a new path, like real MapReduce iterations);
-    * reads return copies, so downstream jobs cannot corrupt inputs;
-    * ``glob``-free: a *directory* is just a path prefix, and
-      :meth:`list_paths` filters by prefix.
-    """
-
-    def __init__(self) -> None:
-        self._datasets: Dict[str, List[KeyValue]] = {}
-
-    def write(
-        self,
-        path: str,
-        records: Iterable[KeyValue],
-        overwrite: bool = False,
-    ) -> int:
-        """Store ``records`` at ``path``; returns the record count.
-
-        Refuses to overwrite unless ``overwrite=True`` — accidentally
-        clobbering a previous iteration's output is a classic pipeline
-        bug this surface makes loud.
-        """
-        path = _validate_path(path)
-        if path in self._datasets and not overwrite:
-            raise FileSystemError(f"path already exists: {path!r}")
-        materialized = list(records)
-        for record in materialized:
-            if not isinstance(record, tuple) or len(record) != 2:
-                raise FileSystemError(
-                    f"records must be (key, value) pairs, got {record!r}"
-                )
-        self._datasets[path] = materialized
-        return len(materialized)
-
-    def read(self, path: str) -> List[KeyValue]:
-        """Return a copy of the records at ``path``."""
-        path = _validate_path(path)
-        try:
-            return list(self._datasets[path])
-        except KeyError:
-            raise FileSystemError(f"no such path: {path!r}") from None
-
-    def read_many(self, paths: Iterable[str]) -> List[KeyValue]:
-        """Concatenate several datasets (multi-input jobs)."""
-        records: List[KeyValue] = []
-        for path in paths:
-            records.extend(self.read(path))
-        return records
-
-    def exists(self, path: str) -> bool:
-        """Whether ``path`` holds a dataset."""
-        return _validate_path(path) in self._datasets
-
-    def delete(self, path: str) -> None:
-        """Remove a dataset (e.g. intermediate iteration outputs)."""
-        path = _validate_path(path)
-        if path not in self._datasets:
-            raise FileSystemError(f"no such path: {path!r}")
-        del self._datasets[path]
-
-    def list_paths(self, prefix: str = "/") -> List[str]:
-        """All dataset paths under ``prefix``, sorted."""
-        if not prefix.startswith("/"):
-            raise FileSystemError(
-                f"prefix must start with '/', got {prefix!r}"
-            )
-        return sorted(
-            path for path in self._datasets if path.startswith(prefix)
-        )
-
-    def size(self, path: str) -> int:
-        """Number of records stored at ``path``."""
-        return len(self.read(path))
-
-    def __contains__(self, path: str) -> bool:
-        return self.exists(path)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"InMemoryFileSystem(paths={len(self._datasets)})"
+__all__ = [
+    "FileSystem",
+    "FileSystemError",
+    "InMemoryFileSystem",
+    "LocalDiskFileSystem",
+]

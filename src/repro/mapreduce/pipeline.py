@@ -1,28 +1,34 @@
-"""Declarative multi-job pipelines over the in-memory filesystem.
+"""Declarative multi-job pipelines over a pluggable filesystem.
 
 The paper's system is a pipeline of MapReduce jobs wired through the
 distributed filesystem (similarity join: term-bounds → candidates →
 verify; matching: one job per iteration).  :class:`Pipeline` captures
 that wiring declaratively so stages can be inspected, re-run, and
 tested individually — the shape a production Hadoop driver would have.
+
+Stages read and write named datasets on any
+:class:`~repro.mapreduce.storage.FileSystem` — the in-memory simulator
+store or the out-of-core disk store — selected via ``storage=`` (a
+backend name), ``filesystem=`` (an instance), or inherited from the
+runtime.  Pipeline results are bit-identical across storage backends.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from .errors import MapReduceError
-from .hdfs import InMemoryFileSystem
 from .job import MapReduceJob
 from .runtime import MapReduceRuntime
+from .storage import FileSystem, resolve_filesystem
 
 __all__ = ["PipelineStage", "Pipeline"]
 
 #: Lazily computed side data: receives the filesystem, returns the
 #: mapping shipped to the stage's tasks (e.g. a dict built from a
 #: previous stage's output).
-SideDataFactory = Callable[[InMemoryFileSystem], Mapping[str, Any]]
+SideDataFactory = Callable[[FileSystem], Mapping[str, Any]]
 
 
 @dataclass
@@ -44,29 +50,46 @@ class Pipeline:
     """Run a sequence of stages on a runtime + filesystem pair.
 
     ``backend`` selects the execution backend (``"serial"``,
-    ``"threads"``, ``"processes"``) when no runtime is supplied; a
-    supplied runtime brings its own backend.
+    ``"threads"``, ``"processes"``) and ``storage`` the storage backend
+    (``"memory"``, ``"disk"``) when no runtime/filesystem is supplied;
+    a supplied runtime brings its own backend *and* its own filesystem
+    (pass ``filesystem=`` to override the latter explicitly).
 
-    >>> fs = InMemoryFileSystem()
-    >>> _ = fs.write("/in", [(0, "a b a")])
-    >>> # pipeline = Pipeline(runtime, fs); pipeline.add(job, ["/in"], "/out")
+    >>> pipeline = Pipeline()
+    >>> _ = pipeline.filesystem.write("/in", [(0, "a b a")])
+    >>> # pipeline.add(job, ["/in"], "/out"); pipeline.run()
     """
 
     def __init__(
         self,
         runtime: Optional[MapReduceRuntime] = None,
-        filesystem: Optional[InMemoryFileSystem] = None,
+        filesystem: Optional[FileSystem] = None,
         backend: Optional[str] = None,
+        storage: Optional[str] = None,
     ) -> None:
         if runtime is not None and backend is not None:
             raise MapReduceError(
                 "pass either a runtime or a backend name, not both "
                 "(the runtime already fixes its backend)"
             )
+        if filesystem is not None and storage is not None:
+            raise MapReduceError(
+                "pass either a filesystem or a storage name, not both"
+            )
+        if runtime is not None and storage is not None:
+            raise MapReduceError(
+                "pass either a runtime or a storage name, not both "
+                "(the runtime already fixes its filesystem; pass "
+                "filesystem= to override it)"
+            )
         self.runtime = runtime or MapReduceRuntime(
-            backend=backend or "serial"
+            backend=backend or "serial", storage=storage
         )
-        self.filesystem = filesystem or InMemoryFileSystem()
+        self.filesystem: FileSystem = (
+            filesystem
+            if filesystem is not None
+            else self.runtime.filesystem
+        )
         self.stages: List[PipelineStage] = []
         self.records_out: Dict[str, int] = {}
 
@@ -129,5 +152,35 @@ class Pipeline:
         return last
 
     def describe(self) -> str:
-        """Multi-line summary of the pipeline's wiring."""
-        return "\n".join(stage.describe() for stage in self.stages)
+        """Multi-line summary of the pipeline's wiring and storage use.
+
+        For every stage whose output dataset exists (i.e. after
+        :meth:`run`), the line carries the dataset's ``du`` stats —
+        record and byte counts — the numbers that guide
+        ``spill_threshold`` tuning::
+
+            simjoin-candidates: [/simjoin/documents] -> /simjoin/candidates  [1204 records, 31 kB]
+        """
+        lines = []
+        for stage in self.stages:
+            line = stage.describe()
+            if self.filesystem.exists(stage.output):
+                stats = self.filesystem.du(stage.output)
+                line += (
+                    f"  [{stats.records} records, "
+                    f"{_human_bytes(stats.bytes)}]"
+                )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _human_bytes(count: int) -> str:
+    """``1234567 -> '1.2 MB'`` (SI units, one decimal)."""
+    size = float(count)
+    for unit in ("B", "kB", "MB", "GB"):
+        if size < 1000 or unit == "GB":
+            if unit == "B":
+                return f"{int(size)} {unit}"
+            return f"{size:.1f} {unit}"
+        size /= 1000.0
+    return f"{int(count)} B"  # pragma: no cover - unreachable

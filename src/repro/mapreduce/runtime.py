@@ -34,13 +34,29 @@ Executor` (``backend="serial" | "threads" | "processes"``).
   partition by the canonical key order, groups, applies ``job.reduce``
   to each group, and meters into a task-local :class:`Counters`.
 
+Storage model
+-------------
+
+Storage is pluggable alongside compute (see :mod:`repro.mapreduce.
+storage`): ``storage="memory" | "disk"`` (or any
+:class:`~repro.mapreduce.storage.FileSystem`) selects where inter-job
+datasets live — :class:`~repro.mapreduce.pipeline.Pipeline` wires its
+stages through the runtime's filesystem — and ``spill_threshold``
+bounds the driver-side shuffle: when set, map outputs accumulate in
+per-partition buffers that sort-and-spill to disk runs past the
+threshold and are k-way merged at reduce time
+(:class:`~repro.mapreduce.storage.ExternalShuffle`), metering
+``spilled_records``/``spill_files``/``spilled_bytes``.
+
 Determinism contract: the runtime collects task results and merges
 task-local counters *in task-index order*, so outputs, ``job_log``, and
 counter totals are bit-identical across backends and worker counts
-(property-tested in ``tests/mapreduce/test_executors.py``).  Because
-tasks may execute in separate processes, jobs must be stateless and —
-for the ``processes`` backend — picklable together with their side data
-and records.
+(property-tested in ``tests/mapreduce/test_executors.py``) — and, minus
+the spill counters, across filesystems and spill thresholds
+(property-tested in ``tests/mapreduce/test_storage_spill.py``).
+Because tasks may execute in separate processes, jobs must be
+stateless and — for the ``processes`` backend — picklable together
+with their side data and records.
 """
 
 from __future__ import annotations
@@ -53,6 +69,7 @@ from .errors import JobValidationError
 from .executors import Executor, resolve_executor
 from .job import KeyValue, MapReduceJob
 from .partitioner import HashPartitioner, canonical_bytes
+from .storage import ExternalShuffle, FileSystem, resolve_filesystem
 
 __all__ = ["MapReduceRuntime"]
 
@@ -90,6 +107,23 @@ class MapReduceRuntime:
     max_workers:
         Worker-pool size for the parallel backends; ignored by
         ``"serial"`` and by pre-built executor instances.
+    storage:
+        Storage backend for inter-job datasets: ``"memory"``
+        (default), ``"disk"``, or any :class:`~repro.mapreduce.storage.
+        FileSystem` instance.  :class:`~repro.mapreduce.pipeline.
+        Pipeline` defaults to this runtime's filesystem.  Results are
+        bit-identical across storage backends.
+    spill_threshold:
+        When set, the shuffle becomes *external*: each reduce
+        partition's map outputs accumulate in a bounded buffer that is
+        sorted and spilled to a disk run once it holds more than this
+        many records (``0`` spills every record), and runs are k-way
+        merged at reduce time.  ``None`` (default) keeps the entire
+        shuffle in memory.  Outputs are bit-identical across
+        thresholds; only the spill counters differ.
+    spill_dir:
+        Parent directory for spill runs (default: the system temporary
+        directory).
     """
 
     def __init__(
@@ -102,9 +136,17 @@ class MapReduceRuntime:
         speculative_execution: bool = False,
         backend: Any = "serial",
         max_workers: Optional[int] = None,
+        storage: Any = None,
+        spill_threshold: Optional[int] = None,
+        spill_dir: Optional[str] = None,
     ) -> None:
         if num_map_tasks < 1 or num_reduce_tasks < 1:
             raise JobValidationError("task counts must be positive")
+        if spill_threshold is not None and spill_threshold < 0:
+            raise JobValidationError(
+                f"spill_threshold must be >= 0 or None, got "
+                f"{spill_threshold}"
+            )
         self.num_map_tasks = num_map_tasks
         self.num_reduce_tasks = num_reduce_tasks
         self.counters = counters if counters is not None else Counters()
@@ -114,6 +156,9 @@ class MapReduceRuntime:
         self.executor: Executor = resolve_executor(
             backend, max_workers=max_workers
         )
+        self.filesystem: FileSystem = resolve_filesystem(storage)
+        self.spill_threshold = spill_threshold
+        self.spill_dir = spill_dir
         self.jobs_executed = 0
         self.job_log: List[str] = []
 
@@ -121,6 +166,11 @@ class MapReduceRuntime:
     def backend(self) -> str:
         """Canonical name of the active execution backend."""
         return self.executor.name
+
+    @property
+    def storage(self) -> str:
+        """Canonical name of the active storage backend."""
+        return self.filesystem.name
 
     # -- public API --------------------------------------------------------
 
@@ -186,27 +236,59 @@ class MapReduceRuntime:
     ) -> List[List[KeyValue]]:
         """Partition and meter the intermediate records.
 
-        Sorting happens inside each reduce task (the task unit owns its
-        partition's sort, as a real cluster's reducer-side merge does).
+        With ``spill_threshold=None`` every partition stays in memory
+        in arrival order and sorting happens inside each reduce task
+        (the task unit owns its partition's sort, as a real cluster's
+        reducer-side merge does).  With a threshold, records route
+        through the :class:`ExternalShuffle` — bounded buffers that
+        sort-and-spill to disk runs and k-way merge per partition.
+        Both paths hand each reduce task the same multiset of records
+        with equal keys in the same arrival order, so reduce outputs
+        are bit-identical either way.
         """
         group = job.name
+        spiller: Optional[ExternalShuffle] = None
         partitions: List[List[KeyValue]] = [
             [] for _ in range(self.num_reduce_tasks)
         ]
-        shuffled = 0
-        shuffled_bytes = 0
-        for task_output in intermediate:
-            for key, value in task_output:
-                index = self.partitioner(key, self.num_reduce_tasks)
-                if not 0 <= index < self.num_reduce_tasks:
-                    raise JobValidationError(
-                        f"partitioner returned {index} for "
-                        f"{self.num_reduce_tasks} partitions"
-                    )
-                partitions[index].append((key, value))
-                shuffled += 1
-                if self.meter_bytes:
-                    shuffled_bytes += len(pickle.dumps((key, value)))
+        if self.spill_threshold is not None:
+            spiller = ExternalShuffle(
+                self.num_reduce_tasks,
+                self.spill_threshold,
+                spill_dir=self.spill_dir,
+            )
+        try:
+            shuffled = 0
+            shuffled_bytes = 0
+            for task_index, task_output in enumerate(intermediate):
+                for key, value in task_output:
+                    index = self.partitioner(key, self.num_reduce_tasks)
+                    if not 0 <= index < self.num_reduce_tasks:
+                        raise JobValidationError(
+                            f"partitioner returned {index} for "
+                            f"{self.num_reduce_tasks} partitions"
+                        )
+                    if spiller is not None:
+                        spiller.add(index, key, value)
+                    else:
+                        partitions[index].append((key, value))
+                    shuffled += 1
+                    if self.meter_bytes:
+                        shuffled_bytes += len(pickle.dumps((key, value)))
+                if spiller is not None:
+                    # These records now live in the spiller's bounded
+                    # buffers or on-disk runs; drop the driver's copy so
+                    # routing never holds the shuffle twice.
+                    intermediate[task_index] = []
+            if spiller is not None:
+                partitions = [
+                    spiller.merged_partition(index)
+                    for index in range(self.num_reduce_tasks)
+                ]
+                spiller.meter(self.counters, group)
+        finally:
+            if spiller is not None:
+                spiller.close()
         self.counters.increment(group, "shuffle.records", shuffled)
         self.counters.increment("runtime", "shuffle.records", shuffled)
         if self.meter_bytes:
@@ -231,7 +313,9 @@ class MapReduceRuntime:
         return (
             f"MapReduceRuntime(map={self.num_map_tasks}, "
             f"reduce={self.num_reduce_tasks}, "
-            f"backend={self.backend!r}, jobs={self.jobs_executed})"
+            f"backend={self.backend!r}, storage={self.storage!r}, "
+            f"spill_threshold={self.spill_threshold}, "
+            f"jobs={self.jobs_executed})"
         )
 
 

@@ -1,0 +1,126 @@
+"""Canonical JSONL encoding of ``(key, value)`` records.
+
+The disk filesystem persists datasets as line-delimited JSON — the
+format real Hadoop pipelines favor for inter-job data because it is
+splittable, greppable, and language-neutral.  Plain JSON, however, is
+lossy for Python records: tuples come back as lists, and dictionary
+keys come back as strings.  Either would break the storage subsystem's
+hard contract that pipeline outputs are **bit-identical** across the
+memory and disk backends (shuffle keys like ``("item", "consumer")``
+must round-trip as tuples to sort and group identically).
+
+This codec therefore wraps the containers in single-key *tag objects*:
+
+========  =======================================  ==================
+tag       encodes                                   payload
+========  =======================================  ==================
+``"t"``   ``tuple``                                 list of encoded items
+``"l"``   ``list``                                  list of encoded items
+``"d"``   ``dict`` (any key type, order kept)       list of encoded ``[k, v]`` pairs
+``"y"``   ``bytes``                                 base64 string
+========  =======================================  ==================
+
+Scalars (``None``, ``bool``, ``int``, ``float``, ``str``) pass through
+natively — JSON round-trips them exactly, including floats, which
+serialize via ``repr`` and parse back to the identical IEEE double.
+Because *every* dict is encoded as a tag object, a user dict can never
+be mistaken for a tag: decoders treat any one-key object whose key is a
+known tag as encoded structure, and such objects only ever come from
+the encoder.
+
+One record is one line: ``[encoded_key, encoded_value]``.  Types
+outside the table (arbitrary class instances) raise
+:class:`~repro.mapreduce.storage.base.FileSystemError` — datasets are
+an interchange surface, not a pickle jar; jobs that need richer state
+in records keep it in memory or convert at the boundary.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+from ..job import KeyValue
+from .base import FileSystemError
+
+__all__ = ["encode_value", "decode_value", "dumps_record", "loads_record"]
+
+_SCALARS = (bool, int, float, str)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one key or value into a JSON-serializable structure."""
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, bytes):
+        return {"y": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, tuple):
+        return {"t": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return {"l": [encode_value(item) for item in value]}
+    if isinstance(value, dict):
+        return {
+            "d": [
+                [encode_value(key), encode_value(val)]
+                for key, val in value.items()
+            ]
+        }
+    raise FileSystemError(
+        f"cannot serialize {type(value).__name__} values to a record "
+        "dataset; supported types: None, bool, int, float, str, bytes, "
+        "tuple, list, dict"
+    )
+
+
+def decode_value(encoded: Any) -> Any:
+    """Invert :func:`encode_value` exactly."""
+    if isinstance(encoded, dict):
+        if len(encoded) != 1:
+            raise FileSystemError(
+                f"malformed tag object with {len(encoded)} keys "
+                "(encoded structures are single-key tag objects)"
+            )
+        ((tag, payload),) = encoded.items()
+        if tag == "t":
+            return tuple(decode_value(item) for item in payload)
+        if tag == "l":
+            return [decode_value(item) for item in payload]
+        if tag == "d":
+            return {
+                decode_value(key): decode_value(val)
+                for key, val in payload
+            }
+        if tag == "y":
+            return base64.b64decode(payload)
+        raise FileSystemError(f"unknown record tag {tag!r}")
+    return encoded
+
+
+def dumps_record(key: Any, value: Any) -> str:
+    """Serialize one record to its canonical single-line JSON form."""
+    return json.dumps(
+        [encode_value(key), encode_value(value)],
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+
+
+def loads_record(line: str) -> KeyValue:
+    """Parse one line produced by :func:`dumps_record`.
+
+    Every corruption mode — invalid JSON, a non-pair top level, a
+    malformed or unknown tag — surfaces as :class:`FileSystemError`
+    carrying the offending line, never a bare ``ValueError``.
+    """
+    try:
+        encoded_key, encoded_value = json.loads(line)
+        return decode_value(encoded_key), decode_value(encoded_value)
+    except FileSystemError as exc:
+        raise FileSystemError(
+            f"malformed record line {line!r}: {exc}"
+        ) from None
+    except (ValueError, TypeError) as exc:
+        raise FileSystemError(
+            f"malformed record line {line!r}: {exc}"
+        ) from None

@@ -1,0 +1,84 @@
+"""TSV serialization of vector and scalar stores (corpus files).
+
+The ``repro generate`` CLI persists a corpus as TSV files — sparse
+term-weight vectors (``doc <TAB> {"term": weight, ...}`` with the JSON
+object sorted by key) and scalar maps (``key <TAB> value`` with
+``repr`` floats, so values round-trip exactly).  These helpers used to
+be private functions inside ``cli.py``; they live in the storage
+package so the CLI, the tests, and any future ingestion path share one
+implementation (the same role :mod:`repro.graph.io` plays for edge and
+capacity files).
+
+All writers emit keys in sorted order (deterministic bytes for a given
+store); all readers stream line by line and skip blanks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+__all__ = [
+    "read_scalars",
+    "read_vectors",
+    "write_scalars",
+    "write_vectors",
+]
+
+
+def write_vectors(path: str, vectors: Dict[str, Dict[str, float]]) -> int:
+    """Write a ``doc -> sparse vector`` store as TSV; returns row count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for doc in sorted(vectors):
+            handle.write(
+                f"{doc}\t{json.dumps(vectors[doc], sort_keys=True)}\n"
+            )
+    return len(vectors)
+
+
+def read_vectors(path: str) -> Dict[str, Dict[str, float]]:
+    """Read a vector store written by :func:`write_vectors`."""
+    vectors: Dict[str, Dict[str, float]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                doc, payload = line.split("\t", 1)
+                vectors[doc] = json.loads(payload)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed vector row: {exc}"
+                ) from None
+    return vectors
+
+
+def write_scalars(path: str, scalars: Dict[str, float]) -> int:
+    """Write a ``key -> float`` map as TSV; returns the row count.
+
+    Values are written with ``repr`` so they parse back to the
+    identical float.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        for key in sorted(scalars):
+            handle.write(f"{key}\t{scalars[key]!r}\n")
+    return len(scalars)
+
+
+def read_scalars(path: str) -> Dict[str, float]:
+    """Read a scalar map written by :func:`write_scalars`."""
+    scalars: Dict[str, float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                key, value = line.split("\t", 1)
+                scalars[key] = float(value)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed scalar row: {exc}"
+                ) from None
+    return scalars

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..mapreduce import (
-    InMemoryFileSystem,
+    FileSystem,
     KeyValue,
     MapReduceJob,
     MapReduceRuntime,
@@ -131,32 +131,41 @@ def mapreduce_similarity_join(
     consumers: Mapping[str, Mapping[str, float]],
     sigma: float,
     runtime: Optional[MapReduceRuntime] = None,
+    filesystem: Optional[FileSystem] = None,
 ) -> List[JoinRow]:
-    """Run the three-job pipeline; returns sorted ``(t, c, w)`` rows."""
-    if sigma <= 0:
-        raise ValueError(f"sigma must be positive, got {sigma}")
-    runtime = runtime or MapReduceRuntime()
-    documents: List[KeyValue] = [
-        (doc, (ITEM_TAG, vector)) for doc, vector in sorted(items.items())
-    ] + [
-        (doc, (CONSUMER_TAG, vector))
-        for doc, vector in sorted(consumers.items())
-    ]
-    bounds = dict(runtime.run(TermBoundsJob(), documents))
-    candidates = runtime.run(
-        CandidateJob(),
-        documents,
-        side_data={"max_weights": bounds, "sigma": sigma},
+    """Run the three-job pipeline; returns sorted ``(t, c, w)`` rows.
+
+    The jobs are wired through the runtime's filesystem (see
+    :func:`similarity_join_pipeline`), so a runtime built with
+    ``storage="disk"`` runs the whole join out of core — inputs,
+    intermediates, and the verified edges live on disk, and a
+    ``spill_threshold`` additionally bounds the shuffle buffers.  The
+    returned rows are bit-identical across storage backends, spill
+    thresholds, and execution backends.
+
+    On the default in-memory filesystem (no explicit ``filesystem``)
+    the ``/simjoin/*`` datasets are deleted before returning, so this
+    function retains no duplicate of the corpus in RAM — matching its
+    pre-pipeline behavior.  On-disk datasets (or an explicitly passed
+    filesystem) are kept for inspection; use
+    :func:`similarity_join_pipeline` directly when you want the
+    intermediates regardless of backend.
+    """
+    pipeline = similarity_join_pipeline(
+        items, consumers, sigma, runtime=runtime, filesystem=filesystem
     )
-    verified = runtime.run(
-        VerifyJob(),
-        candidates,
-        side_data={
-            "items": dict(items),
-            "consumers": dict(consumers),
-            "sigma": sigma,
-        },
-    )
+    verified = pipeline.run()
+    if filesystem is None and pipeline.filesystem.name == "memory":
+        # Exactly the datasets this pipeline wrote — never a prefix
+        # sweep, which could catch caller data under /simjoin/*.
+        for path in (
+            "/simjoin/documents",
+            "/simjoin/term_bounds",
+            "/simjoin/candidates",
+            "/simjoin/edges",
+        ):
+            if pipeline.filesystem.exists(path):
+                pipeline.filesystem.delete(path)
     rows = sorted(
         (item, consumer, weight)
         for (item, consumer), weight in verified
@@ -169,18 +178,20 @@ def similarity_join_pipeline(
     consumers: Mapping[str, Mapping[str, float]],
     sigma: float,
     runtime: Optional[MapReduceRuntime] = None,
-    filesystem: Optional[InMemoryFileSystem] = None,
+    filesystem: Optional[FileSystem] = None,
 ) -> Pipeline:
-    """The same three jobs, wired as a DFS-backed :class:`Pipeline`.
+    """The three jobs, wired as a DFS-backed :class:`Pipeline`.
 
     This is the deployment shape of the computation: each stage reads
-    and writes named datasets on the (simulated) distributed
-    filesystem, so intermediate results — the term bounds under
+    and writes named datasets on the (simulated or on-disk) distributed
+    filesystem — by default the runtime's own (``storage=`` at runtime
+    construction) — so intermediate results — the term bounds under
     ``/simjoin/term_bounds``, the candidate pairs under
     ``/simjoin/candidates`` — are inspectable after the run.  Running
     the returned pipeline produces the verified edges at
     ``/simjoin/edges`` (and as ``Pipeline.run()``'s return value);
-    output is identical to :func:`mapreduce_similarity_join`.
+    output is identical to :func:`mapreduce_similarity_join`, which
+    delegates here.
     """
     if sigma <= 0:
         raise ValueError(f"sigma must be positive, got {sigma}")

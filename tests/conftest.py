@@ -8,7 +8,8 @@ import random
 import pytest
 from hypothesis import HealthCheck, settings
 
-from repro.mapreduce import Counters, MapReduceRuntime
+from repro.mapreduce import Counters, LocalDiskFileSystem, MapReduceRuntime
+from repro.mapreduce.storage import canonical_backend
 
 # One moderate default profile: property tests are plentiful, so each
 # keeps a modest example budget to bound total suite time.
@@ -33,6 +34,17 @@ BACKENDS = tuple(
     if name.strip()
 )
 
+# Storage configuration for the `runtime` fixture.  The out-of-core CI
+# job sets REPRO_TEST_FS=disk (tmpdir-backed datasets) and
+# REPRO_TEST_SPILL_THRESHOLD to a small value that forces the external
+# sort-and-spill shuffle, so the whole tier-1 suite also proves the
+# out-of-core path — results are bit-identical by contract.
+STORAGE = canonical_backend(
+    os.environ.get("REPRO_TEST_FS", "memory").strip() or "memory"
+)
+_SPILL = os.environ.get("REPRO_TEST_SPILL_THRESHOLD", "").strip()
+SPILL_THRESHOLD = int(_SPILL) if _SPILL else None
+
 
 @pytest.fixture(params=BACKENDS)
 def backend(request) -> str:
@@ -41,17 +53,26 @@ def backend(request) -> str:
 
 
 @pytest.fixture
-def runtime(backend) -> MapReduceRuntime:
+def runtime(backend, tmp_path) -> MapReduceRuntime:
     """A default 4x4 simulated cluster, parametrized over backends.
 
     Tests using this fixture run once per execution backend; jobs they
-    submit must therefore be picklable (module-level classes).
+    submit must therefore be picklable (module-level classes).  Storage
+    (filesystem backend + spill threshold) follows REPRO_TEST_FS /
+    REPRO_TEST_SPILL_THRESHOLD, defaulting to in-memory with no spill.
     """
+    if STORAGE == "memory":
+        storage = None
+    else:
+        storage = LocalDiskFileSystem(root=str(tmp_path / "dfs"))
     return MapReduceRuntime(
         num_map_tasks=4,
         num_reduce_tasks=4,
         counters=Counters(),
         backend=backend,
+        storage=storage,
+        spill_threshold=SPILL_THRESHOLD,
+        spill_dir=str(tmp_path / "spills"),
     )
 
 

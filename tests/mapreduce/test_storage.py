@@ -1,0 +1,398 @@
+"""Tests for the pluggable storage subsystem (filesystems + codec).
+
+The contract tests run against *every* filesystem backend via the
+parametrized ``fs`` fixture — one behavior, two implementations.  The
+disk-specific tests pin down what only disk can get wrong: atomic
+rename-on-close, crash invisibility, gzip, and persistence across
+instances.
+"""
+
+import gzip
+import os
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce import (
+    DatasetStats,
+    FileSystem,
+    FileSystemError,
+    InMemoryFileSystem,
+    LocalDiskFileSystem,
+    resolve_filesystem,
+)
+from repro.mapreduce.storage import (
+    FILESYSTEM_BACKENDS,
+    dumps_record,
+    loads_record,
+    read_scalars,
+    read_vectors,
+    write_scalars,
+    write_vectors,
+)
+
+FS_KINDS = ("memory", "disk", "disk-gz")
+
+
+@pytest.fixture(params=FS_KINDS)
+def fs(request, tmp_path) -> FileSystem:
+    """Each filesystem backend in turn (disk twice: plain and gzip)."""
+    if request.param == "memory":
+        return InMemoryFileSystem()
+    return LocalDiskFileSystem(
+        root=str(tmp_path / "dfs"),
+        compress=request.param.endswith("gz"),
+    )
+
+
+# -- the shared FileSystem contract -----------------------------------------
+
+
+def test_write_read_roundtrip(fs):
+    assert fs.write("/data/in", [("a", 1), ("b", 2)]) == 2
+    assert fs.read("/data/in") == [("a", 1), ("b", 2)]
+    assert fs.size("/data/in") == 2
+    assert fs.exists("/data/in")
+    assert "/data/in" in fs
+
+
+def test_read_returns_caller_owned_data(fs):
+    fs.write("/x", [("a", 1)])
+    records = fs.read("/x")
+    records.append(("evil", 2))
+    assert fs.read("/x") == [("a", 1)]
+
+
+def test_overwrite_protection(fs):
+    fs.write("/x", [("a", 1)])
+    with pytest.raises(FileSystemError, match="already exists"):
+        fs.write("/x", [("b", 2)])
+    fs.write("/x", [("b", 2)], overwrite=True)
+    assert fs.read("/x") == [("b", 2)]
+
+
+def test_missing_path(fs):
+    with pytest.raises(FileSystemError, match="no such path"):
+        fs.read("/missing")
+    with pytest.raises(FileSystemError, match="no such path"):
+        fs.delete("/missing")
+    with pytest.raises(FileSystemError, match="no such path"):
+        fs.du("/missing")
+    assert not fs.exists("/missing")
+
+
+def test_path_validation(fs):
+    for bad in ("relative", "/trailing/", "", "/a//b", "/a/./b", "/.."):
+        with pytest.raises(FileSystemError):
+            fs.write(bad, [])
+
+
+def test_record_validation(fs):
+    with pytest.raises(FileSystemError, match="pairs"):
+        fs.write("/bad", ["not-a-pair"])
+    assert not fs.exists("/bad")  # nothing becomes visible
+
+
+def test_failing_record_iterator_leaves_nothing_visible(fs):
+    """The all-or-nothing visibility clause of the contract."""
+
+    def explode():
+        yield ("a", 1)
+        yield ("b", 2)
+        raise RuntimeError("source died mid-stream")
+
+    with pytest.raises(RuntimeError, match="mid-stream"):
+        fs.write("/partial", explode())
+    assert not fs.exists("/partial")
+    assert fs.list_paths() == []
+
+
+def test_failing_overwrite_keeps_previous_dataset(fs):
+    fs.write("/keep", [("old", 0)])
+
+    def explode():
+        yield ("new", 1)
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        fs.write("/keep", explode(), overwrite=True)
+    assert fs.read("/keep") == [("old", 0)]
+
+
+def test_read_many_concatenates(fs):
+    fs.write("/a", [("k", 1)])
+    fs.write("/b", [("k", 2)])
+    assert fs.read_many(["/a", "/b"]) == [("k", 1), ("k", 2)]
+
+
+def test_delete(fs):
+    fs.write("/x", [("a", 1)])
+    fs.delete("/x")
+    assert not fs.exists("/x")
+
+
+def test_list_paths_by_prefix(fs):
+    fs.write("/job/out1", [("a", 1)])
+    fs.write("/job/out2", [("a", 1)])
+    fs.write("/other", [("a", 1)])
+    assert fs.list_paths("/job") == ["/job/out1", "/job/out2"]
+    assert len(fs.list_paths()) == 3
+    with pytest.raises(FileSystemError):
+        fs.list_paths("job")
+
+
+def test_du_reports_records_and_bytes(fs):
+    fs.write("/stats/a", [("k", [1, 2, 3]), ("l", "value")])
+    fs.write("/stats/b", [])
+    stats = fs.du("/stats/a")
+    assert isinstance(stats, DatasetStats)
+    assert stats.records == 2
+    assert stats.bytes > 0
+    empty = fs.du("/stats/b")
+    assert empty.records == 0
+    all_stats = fs.du()
+    assert all_stats["/stats/a"] == stats
+    assert all_stats["/stats/b"] == empty
+
+
+def test_roundtrip_preserves_record_types(fs):
+    """The record types the pipelines actually ship must round-trip
+    exactly — tuples as tuples, int dict keys as ints, floats to the
+    identical double."""
+    records = [
+        (("item-1", "consumer-2"), 0.1 + 0.2),
+        (3, {"term": 1.5, "other": -2.25}),
+        (None, [True, False, None]),
+        ((1, ("nested", 2.0)), b"\x00\xffbytes"),
+        ("unicode-é中", {1: "int-key", (2, 3): "tuple-key"}),
+        (True, 1),  # bool key stays bool, int value stays int
+        (-0.0, float("inf")),
+    ]
+    fs.write("/types", records)
+    back = fs.read("/types")
+    assert back == records
+    for (key, value), (bkey, bvalue) in zip(records, back):
+        assert type(bkey) is type(key)
+        assert type(bvalue) is type(value)
+
+
+# -- codec ------------------------------------------------------------------
+
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=12)
+    | st.binary(max_size=12)
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.lists(children, max_size=4).map(tuple)
+        | st.dictionaries(
+            st.text(max_size=6) | st.integers(), children, max_size=4
+        )
+    ),
+    max_leaves=12,
+)
+
+
+@given(key=_values, value=_values)
+def test_codec_roundtrip_is_exact(key, value):
+    back_key, back_value = loads_record(dumps_record(key, value))
+    assert back_key == key
+    assert back_value == value
+    assert type(back_key) is type(key)
+    assert type(back_value) is type(value)
+
+
+def test_codec_rejects_unsupported_types():
+    class Opaque:
+        pass
+
+    with pytest.raises(FileSystemError, match="cannot serialize"):
+        dumps_record("k", Opaque())
+
+
+def test_codec_rejects_malformed_lines():
+    for bad in (
+        "not json",
+        '["key-only"]',  # not a pair
+        '["k", {"a": 1, "b": 2}]',  # multi-key object is no valid tag
+        '["k", {"zz": []}]',  # unknown tag
+    ):
+        with pytest.raises(FileSystemError, match="malformed|unknown"):
+            loads_record(bad)
+
+
+# -- disk-specific behavior -------------------------------------------------
+
+
+def test_disk_datasets_survive_reopening(tmp_path):
+    root = str(tmp_path / "dfs")
+    first = LocalDiskFileSystem(root=root)
+    first.write("/a/b", [(("k", 1), 2.5)])
+    second = LocalDiskFileSystem(root=root)
+    assert second.list_paths() == ["/a/b"]
+    assert second.read("/a/b") == [(("k", 1), 2.5)]
+    assert second.du("/a/b").records == 1
+
+
+def test_disk_no_temp_litter_after_crash(tmp_path):
+    fs = LocalDiskFileSystem(root=str(tmp_path / "dfs"))
+
+    def explode():
+        yield ("a", 1)
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        fs.write("/crashed", explode())
+    leftovers = [
+        name
+        for _, _, files in os.walk(fs.root)
+        for name in files
+    ]
+    assert leftovers == []
+
+
+def test_disk_gzip_actually_compresses(tmp_path):
+    records = [(f"key-{i % 3}", "x" * 200) for i in range(200)]
+    plain = LocalDiskFileSystem(root=str(tmp_path / "plain"))
+    packed = LocalDiskFileSystem(
+        root=str(tmp_path / "packed"), compress=True
+    )
+    plain.write("/d", records)
+    packed.write("/d", records)
+    assert packed.read("/d") == plain.read("/d") == records
+    assert packed.du("/d").bytes < plain.du("/d").bytes
+
+
+def test_disk_gzip_file_is_valid_gzip(tmp_path):
+    fs = LocalDiskFileSystem(root=str(tmp_path / "dfs"), compress=True)
+    fs.write("/d", [("a", 1)])
+    (file_path,) = [
+        os.path.join(directory, name)
+        for directory, _, files in os.walk(fs.root)
+        for name in files
+    ]
+    assert file_path.endswith(".jsonl.gz")
+    with gzip.open(file_path, "rt", encoding="utf-8") as handle:
+        assert handle.read().strip()
+
+
+def test_disk_overwrite_switches_compression(tmp_path):
+    root = str(tmp_path / "dfs")
+    LocalDiskFileSystem(root=root).write("/d", [("a", 1)])
+    packed = LocalDiskFileSystem(root=root, compress=True)
+    packed.write("/d", [("b", 2)], overwrite=True)
+    assert packed.read("/d") == [("b", 2)]
+    assert packed.list_paths() == ["/d"]  # no stale twin
+
+
+def test_disk_newer_representation_shadows_crash_leftover(tmp_path):
+    """A compression-switching overwrite killed between its rename and
+    the stale twin's unlink must still read as the *new* dataset."""
+    root = str(tmp_path / "dfs")
+    plain = LocalDiskFileSystem(root=root)
+    plain.write("/d", [("old", 1)])
+    stale = os.path.join(root, "d.jsonl")
+    os.utime(stale, ns=(0, 0))  # definitely older than the overwrite
+    packed = LocalDiskFileSystem(root=root, compress=True)
+    packed.write("/d", [("new", 2)], overwrite=True)
+    # Simulate the crash window: resurrect the stale plain twin.
+    with open(stale, "w", encoding="utf-8") as handle:
+        handle.write('["old",1]\n')
+    os.utime(stale, ns=(0, 0))
+    fresh = LocalDiskFileSystem(root=root)
+    assert fresh.read("/d") == [("new", 2)]  # newer file wins
+    assert fresh.list_paths() == ["/d"]  # no duplicate listing
+    fresh.delete("/d")  # removes every representation
+    assert not os.path.exists(stale)
+    assert not fresh.exists("/d")
+
+
+def test_disk_du_cache_invalidated_by_other_writer(tmp_path):
+    root = str(tmp_path / "dfs")
+    writer = LocalDiskFileSystem(root=root)
+    reader = LocalDiskFileSystem(root=root)
+    writer.write("/d", [("a", 1)])
+    assert reader.du("/d").records == 1  # cached in `reader` now
+    writer.write(
+        "/d", [("a", 1), ("b", "a-longer-value"), ("c", 3)],
+        overwrite=True,
+    )
+    stats = reader.du("/d")
+    assert stats.records == 3  # signature change busts the stale cache
+    assert stats.bytes == writer.du("/d").bytes
+
+
+def test_disk_default_root_is_temporary():
+    fs = LocalDiskFileSystem()
+    try:
+        assert os.path.isdir(fs.root)
+        fs.write("/x", [("a", 1)])
+        assert fs.read("/x") == [("a", 1)]
+    finally:
+        import shutil
+
+        shutil.rmtree(fs.root, ignore_errors=True)
+
+
+# -- resolve_filesystem -----------------------------------------------------
+
+
+def test_resolve_filesystem_names_and_aliases(tmp_path):
+    assert isinstance(resolve_filesystem(None), InMemoryFileSystem)
+    assert isinstance(resolve_filesystem("memory"), InMemoryFileSystem)
+    assert isinstance(resolve_filesystem("ram"), InMemoryFileSystem)
+    disk = resolve_filesystem("disk", root=str(tmp_path / "d"))
+    assert isinstance(disk, LocalDiskFileSystem)
+    assert disk.root == str(tmp_path / "d")
+    existing = InMemoryFileSystem()
+    assert resolve_filesystem(existing) is existing
+
+
+def test_resolve_filesystem_rejects_unknown():
+    with pytest.raises(FileSystemError, match="unknown storage backend"):
+        resolve_filesystem("tape")
+    with pytest.raises(FileSystemError, match="memory, disk"):
+        resolve_filesystem(42)
+    assert FILESYSTEM_BACKENDS == ("memory", "disk")
+
+
+# -- TSV corpus helpers (moved out of cli.py) -------------------------------
+
+
+def test_vectors_tsv_roundtrip(tmp_path):
+    path = str(tmp_path / "vectors.tsv")
+    vectors = {
+        "doc-b": {"beta": 2.5, "alpha": 1.0 / 3.0},
+        "doc-a": {"gamma": -0.125},
+    }
+    assert write_vectors(path, vectors) == 2
+    assert read_vectors(path) == vectors
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    assert lines[0].startswith("doc-a\t")  # sorted, deterministic bytes
+
+
+def test_scalars_tsv_roundtrip(tmp_path):
+    path = str(tmp_path / "scalars.tsv")
+    scalars = {"n1": 0.1, "n2": 7.0, "n3": 1e-17}
+    assert write_scalars(path, scalars) == 3
+    assert read_scalars(path) == scalars  # repr round-trips exactly
+
+
+def test_tsv_readers_report_malformed_lines(tmp_path):
+    bad_vectors = tmp_path / "v.tsv"
+    bad_vectors.write_text("doc-without-payload\n")
+    with pytest.raises(ValueError, match="v.tsv:1"):
+        read_vectors(str(bad_vectors))
+    bad_scalars = tmp_path / "s.tsv"
+    bad_scalars.write_text("key\tnot-a-float\n")
+    with pytest.raises(ValueError, match="s.tsv:1"):
+        read_scalars(str(bad_scalars))

@@ -91,6 +91,107 @@ def test_join_mapreduce_method_matches_exact(corpus_dir, tmp_path):
     assert exact_rows == mr_rows
 
 
+def test_join_disk_fs_with_spill_matches_memory(corpus_dir, tmp_path, capsys):
+    """The ISSUE acceptance run: --fs disk --spill-threshold spills and
+    produces byte-identical candidate edges to the in-memory run."""
+    memory_path = str(tmp_path / "memory.tsv")
+    disk_path = str(tmp_path / "disk.tsv")
+    assert (
+        main(
+            [
+                "join",
+                corpus_dir,
+                "--sigma",
+                "2.0",
+                "--method",
+                "mapreduce",
+                "--out",
+                memory_path,
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "join",
+                corpus_dir,
+                "--sigma",
+                "2.0",
+                "--method",
+                "mapreduce",
+                "--fs",
+                "disk",
+                "--spill-threshold",
+                "50",
+                "--out",
+                disk_path,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "mapreduce/serial/disk" in out
+    assert "shuffle spilled" in out
+    assert "dfs root:" in out
+    with open(memory_path, "rb") as handle:
+        memory_bytes = handle.read()
+    with open(disk_path, "rb") as handle:
+        disk_bytes = handle.read()
+    assert memory_bytes == disk_bytes
+    assert memory_bytes  # non-trivial corpus
+
+
+def test_match_accepts_storage_options(corpus_dir, tmp_path, capsys):
+    matching_path = str(tmp_path / "matching-disk.tsv")
+    code = main(
+        [
+            "match",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--algorithm",
+            "greedy_mr",
+            "--fs",
+            "disk",
+            "--spill-threshold",
+            "0",
+            "--out",
+            matching_path,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "value=" in out
+    assert "shuffle spilled" in out
+    # match streams round state driver-side: --fs is honestly a no-op
+    # there, and the CLI says so instead of building an unused dfs.
+    assert "no effect on 'match'" in out
+    assert os.path.getsize(matching_path) > 0
+
+
+def test_join_rejects_unknown_fs(corpus_dir):
+    with pytest.raises(SystemExit):
+        main(["join", corpus_dir, "--sigma", "2.0", "--fs", "tape"])
+
+
+def test_join_rejects_negative_spill_threshold(corpus_dir):
+    with pytest.raises(SystemExit):  # argparse usage error, not traceback
+        main(
+            [
+                "join",
+                corpus_dir,
+                "--sigma",
+                "2.0",
+                "--method",
+                "mapreduce",
+                "--spill-threshold",
+                "-1",
+            ]
+        )
+
+
 @pytest.mark.parametrize("algorithm", ["greedy_mr", "stack_mr"])
 def test_match_produces_feasible_output(
     corpus_dir, tmp_path, capsys, algorithm
