@@ -1,0 +1,436 @@
+"""Before/after benchmark of the encoded shuffle plane + join kernel.
+
+Measures the two changes of the encode-once PR and records the numbers
+to ``benchmarks/BENCH_perf.json``:
+
+1. **shuffle micro-benchmark** — the per-record kernel of the shuffle
+   (partition + sort + group) over a synthetic mixed-key record
+   stream.  The *legacy* kernel re-derives ``canonical_bytes`` at each
+   stage and partitions with MD5 (the pre-PR behavior, frozen here so
+   the comparison reproduces at any commit); the *encoded* kernel
+   encodes once and reuses the cached bytes everywhere, partitioning
+   with the CRC-based fast hash.  Target: >= 2x.
+
+2. **end-to-end similarity join** — ``mapreduce_similarity_join`` on a
+   flickr-small corpus versus a frozen copy of the legacy join (prefix
+   postings, candidate-pair dedup, document stores shipped as side
+   data to the verify stage, MD5 key partitioning).  The legacy jobs
+   run on the *current* runtime, so this number isolates the kernel
+   change and under-states the full regression distance; the true
+   cross-PR wall-clock, measured once against the pre-PR checkout, is
+   recorded under ``pr3_measured``.  Target: >= 1.5x.
+
+Usage::
+
+    python benchmarks/bench_shuffle_kernel.py             # full run
+    python benchmarks/bench_shuffle_kernel.py --quick     # micro only
+    python benchmarks/bench_shuffle_kernel.py --write     # update JSON
+    python benchmarks/bench_shuffle_kernel.py --quick --check-regression
+
+``--check-regression`` (the CI smoke) compares the measured micro
+speedup against the committed JSON and exits non-zero when it is more
+than 25% worse — a machine-independent ratio check, not a wall-clock
+comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import os
+import random
+import sys
+import time
+from operator import itemgetter
+from typing import Dict, List
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if REPO_SRC not in sys.path:  # runnable without an installed package
+    sys.path.insert(0, REPO_SRC)
+
+from repro.mapreduce import (  # noqa: E402
+    HashPartitioner,
+    MapReduceJob,
+    MapReduceRuntime,
+    canonical_bytes,
+)
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_perf.json"
+)
+
+#: True cross-PR wall-clock, measured once across the actual code
+#: change (pre-PR checkout vs post-PR tree, same machine, best of 4):
+#: `mapreduce_similarity_join` on flickr-small (seed=1, scale=0.3,
+#: sigma=2.0).  Frozen — the live benchmarks above it are the numbers
+#: that reproduce on any machine.
+PR3_MEASURED = {
+    "join_seconds_before": 1.117,
+    "join_seconds_after": 0.621,
+    "join_speedup": 1.80,
+    "config": "flickr-small seed=1 scale=0.3 sigma=2.0, serial backend",
+}
+
+
+# -- 1. shuffle kernel micro-benchmark ---------------------------------------
+
+
+def _mixed_records(count: int, seed: int = 0) -> List[tuple]:
+    """A synthetic intermediate-record stream with realistic key mix:
+    terms (str), pair keys (tuple of str), ids (int), composites."""
+    rng = random.Random(seed)
+    records = []
+    for i in range(count):
+        draw = rng.random()
+        if draw < 0.40:
+            key = f"term{rng.randint(0, count // 8)}"
+        elif draw < 0.75:
+            key = (f"t{rng.randint(0, 300)}", f"c{rng.randint(0, 300)}")
+        elif draw < 0.90:
+            key = rng.randint(0, 10**6)
+        else:
+            key = (rng.randint(0, 50), f"w{rng.randint(0, 99)}")
+        records.append((key, i))
+    return records
+
+
+def _legacy_kernel(records: List[tuple], num_partitions: int) -> int:
+    """The pre-PR shuffle kernel: every stage re-encodes the key.
+
+    Models the stage sequence a combiner job's record traversed before
+    the encoded plane: map-side combiner sort (encode #1) and group
+    (encode #2), MD5 partitioning (encode #3), reduce-side sort
+    (encode #4) and group (encode #5) — the re-derivation this PR
+    removed, frozen here for comparison.
+    """
+    # map-side combiner: sort + group, both re-encoding
+    combined = sorted(records, key=lambda kv: canonical_bytes(kv[0]))
+    run = None
+    for key, _ in combined:
+        encoded = canonical_bytes(key)
+        if encoded != run:
+            run = encoded
+    # partition: md5 over a fresh encoding
+    partitions: List[List[tuple]] = [[] for _ in range(num_partitions)]
+    md5 = hashlib.md5
+    for key, value in combined:
+        digest = md5(canonical_bytes(key)).digest()
+        index = int.from_bytes(digest[:8], "big") % num_partitions
+        partitions[index].append((key, value))
+    # reduce side: sort + group, both re-encoding again
+    groups = 0
+    for partition in partitions:
+        partition.sort(key=lambda kv: canonical_bytes(kv[0]))
+        run = None
+        for key, _ in partition:
+            encoded = canonical_bytes(key)
+            if encoded != run:
+                groups += 1
+                run = encoded
+    return groups
+
+
+def _encoded_kernel(records: List[tuple], num_partitions: int) -> int:
+    """The encoded plane: one encode, cached bytes at every stage."""
+    first = itemgetter(0)
+    # the single encode, at emit time
+    encoded_records = [
+        (canonical_bytes(key), key, value) for key, value in records
+    ]
+    # map-side combiner: sort + group on the cached bytes
+    encoded_records.sort(key=first)
+    run = None
+    for record in encoded_records:
+        if record[0] != run:
+            run = record[0]
+    # partition: fast hash over the cached bytes
+    partitions: List[List[tuple]] = [[] for _ in range(num_partitions)]
+    fast_partition = HashPartitioner.partition_bytes
+    for record in encoded_records:
+        partitions[fast_partition(record[0], num_partitions)].append(
+            record
+        )
+    # reduce side: sort + group on the cached bytes
+    groups = 0
+    for partition in partitions:
+        partition.sort(key=first)
+        run = None
+        for record in partition:
+            if record[0] != run:
+                groups += 1
+                run = record[0]
+    return groups
+
+
+def _best_of(repeats: int, fn, *args) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_shuffle_micro(quick: bool) -> Dict:
+    count = 60_000 if quick else 200_000
+    repeats = 3 if quick else 5
+    partitions = 8
+    records = _mixed_records(count)
+    # Same multiset in, same groups out (different partition layout).
+    assert _legacy_kernel(records, partitions) == _encoded_kernel(
+        records, partitions
+    )
+    legacy = _best_of(repeats, _legacy_kernel, records, partitions)
+    encoded = _best_of(repeats, _encoded_kernel, records, partitions)
+    return {
+        "records": count,
+        "partitions": partitions,
+        "legacy_seconds": round(legacy, 4),
+        "encoded_seconds": round(encoded, 4),
+        "speedup": round(legacy / encoded, 2),
+    }
+
+
+# -- 2. end-to-end join: frozen legacy kernel vs current ---------------------
+#
+# Frozen copies of the pre-PR join jobs: prefix-only postings, bare
+# candidate pairs deduplicated in verify, and — the DistributedCache
+# anti-pattern this PR removed — both document stores shipped to the
+# verify stage as side data.
+
+
+class _LegacyTermBoundsJob(MapReduceJob):
+    name = "legacy-term-bounds"
+    has_combiner = True
+
+    def map(self, doc_id, tagged):
+        tag, vector = tagged
+        if tag == "C":
+            for term, weight in vector.items():
+                yield term, weight
+
+    def combine(self, term, weights):
+        yield term, max(weights)
+
+    def reduce(self, term, weights):
+        yield term, max(weights)
+
+
+class _LegacyCandidateJob(MapReduceJob):
+    name = "legacy-candidates"
+
+    def map(self, doc_id, tagged):
+        from repro.simjoin.prefix_filter import prefix_terms
+
+        tag, vector = tagged
+        if tag == "T":
+            bounds = self.side_data["max_weights"]
+            sigma = self.side_data["sigma"]
+            for term in prefix_terms(vector, bounds, sigma):
+                yield term, ("T", doc_id)
+        else:
+            for term in vector:
+                yield term, ("C", doc_id)
+
+    def reduce(self, term, postings):
+        item_ids = sorted(d for tag, d in postings if tag == "T")
+        consumer_ids = sorted(d for tag, d in postings if tag == "C")
+        for item in item_ids:
+            for consumer in consumer_ids:
+                yield (item, consumer), 1
+
+
+class _LegacyVerifyJob(MapReduceJob):
+    name = "legacy-verify"
+    has_combiner = True
+
+    def map(self, pair, count):
+        yield pair, count
+
+    def combine(self, pair, counts):
+        yield pair, 1
+
+    def reduce(self, pair, counts):
+        from repro.text.vectors import dot
+
+        item, consumer = pair
+        similarity = dot(
+            self.side_data["items"][item],
+            self.side_data["consumers"][consumer],
+        )
+        if similarity >= self.side_data["sigma"]:
+            yield (item, consumer), similarity
+
+
+def _md5_key_partitioner(key, num_partitions):
+    """The pre-PR partitioner: per-record MD5 over a fresh encoding."""
+    digest = hashlib.md5(canonical_bytes(key)).digest()
+    return int.from_bytes(digest[:8], "big") % num_partitions
+
+
+def _legacy_join(items, consumers, sigma):
+    runtime = MapReduceRuntime(partitioner=_md5_key_partitioner)
+    documents = [
+        (doc, ("T", vector)) for doc, vector in sorted(items.items())
+    ] + [(doc, ("C", vector)) for doc, vector in sorted(consumers.items())]
+    bounds = dict(runtime.run(_LegacyTermBoundsJob(), documents))
+    candidates = runtime.run(
+        _LegacyCandidateJob(),
+        documents,
+        side_data={"max_weights": bounds, "sigma": sigma},
+    )
+    verified = runtime.run(
+        _LegacyVerifyJob(),
+        candidates,
+        side_data={
+            "items": dict(items),
+            "consumers": dict(consumers),
+            "sigma": sigma,
+        },
+    )
+    return sorted((t, c, w) for (t, c), w in verified)
+
+
+def bench_join_e2e(scale: float, sigma: float) -> Dict:
+    from repro.datasets import load_dataset
+    from repro.simjoin import mapreduce_similarity_join
+
+    dataset = load_dataset("flickr-small", seed=1, scale=scale)
+    items, consumers = dataset.items, dataset.consumers
+    legacy_rows = _legacy_join(items, consumers, sigma)
+    current_rows = mapreduce_similarity_join(items, consumers, sigma)
+    assert [(t, c) for t, c, _ in legacy_rows] == [
+        (t, c) for t, c, _ in current_rows
+    ], "join kernels disagree on the pair set"
+    assert all(
+        math.isclose(a, b, rel_tol=1e-9)
+        for (_, _, a), (_, _, b) in zip(legacy_rows, current_rows)
+    ), "join kernels disagree on scores"
+    legacy = _best_of(3, _legacy_join, items, consumers, sigma)
+    current = _best_of(
+        3, mapreduce_similarity_join, items, consumers, sigma
+    )
+    return {
+        "dataset": "flickr-small",
+        "scale": scale,
+        "sigma": sigma,
+        "rows": len(current_rows),
+        "legacy_seconds": round(legacy, 4),
+        "encoded_seconds": round(current, 4),
+        "speedup": round(legacy / current, 2),
+    }
+
+
+# -- reporting / regression gate ---------------------------------------------
+
+
+def check_regression(
+    results: Dict, key: str, tolerance: float = 0.25
+) -> int:
+    """Exit status 1 when the micro speedup regressed > tolerance.
+
+    Compares the *speedup ratio* (machine-independent) of the same
+    benchmark mode: quick runs check against the committed quick-mode
+    baseline, full runs against the full one.
+    """
+    if not os.path.exists(BENCH_JSON):
+        print(f"no committed baseline at {BENCH_JSON}; nothing to check")
+        return 0
+    with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+        committed = json.load(handle)
+    baseline = committed.get(key, {}).get("speedup") or committed.get(
+        "shuffle_micro", {}
+    ).get("speedup")
+    if not baseline:
+        print("committed baseline has no shuffle_micro speedup; skipping")
+        return 0
+    measured = results[key]["speedup"]
+    floor = baseline * (1.0 - tolerance)
+    print(
+        f"regression check: measured speedup {measured:.2f}x vs "
+        f"committed {baseline:.2f}x (floor {floor:.2f}x)"
+    )
+    if measured < floor:
+        print(
+            "FAIL: shuffle micro-benchmark speedup regressed more "
+            f"than {tolerance:.0%} against the committed baseline"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller micro-benchmark, skip the end-to-end join",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.3,
+        help="flickr-small scale for the end-to-end join (default 0.3)",
+    )
+    parser.add_argument(
+        "--sigma",
+        type=float,
+        default=2.0,
+        help="join threshold (default 2.0)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help=f"update {os.path.basename(BENCH_JSON)} with the results",
+    )
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="compare against the committed JSON; exit 1 on >25% "
+        "micro-speedup regression",
+    )
+    args = parser.parse_args(argv)
+
+    results: Dict = {"pr3_measured": PR3_MEASURED}
+    micro_key = "shuffle_micro_quick" if args.quick else "shuffle_micro"
+    micro = bench_shuffle_micro(quick=args.quick)
+    results[micro_key] = micro
+    print(
+        f"shuffle micro   ({micro['records']} records): "
+        f"legacy {micro['legacy_seconds']:.3f}s -> encoded "
+        f"{micro['encoded_seconds']:.3f}s  ({micro['speedup']:.2f}x)"
+    )
+    if not args.quick:
+        e2e = bench_join_e2e(args.scale, args.sigma)
+        results["join_e2e"] = e2e
+        print(
+            f"join end-to-end ({e2e['rows']} rows @ sigma "
+            f"{e2e['sigma']}): legacy {e2e['legacy_seconds']:.3f}s -> "
+            f"encoded {e2e['encoded_seconds']:.3f}s  "
+            f"({e2e['speedup']:.2f}x)"
+        )
+    if args.write:
+        recorded: Dict = {}
+        if os.path.exists(BENCH_JSON):
+            try:
+                with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+                    recorded = json.load(handle)
+            except ValueError:
+                recorded = {}
+        recorded.update(results)
+        with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+            json.dump(recorded, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-> {BENCH_JSON}")
+    if args.check_regression:
+        return check_regression(results, micro_key)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,22 @@ def _spill_summary(runtime: Optional[MapReduceRuntime]) -> str:
     )
 
 
+def _profile_summary(runtime: Optional[MapReduceRuntime]) -> str:
+    """Per-phase wall-clock report for ``--profile``, or '' without a
+    simulated cluster (the centralized engines have no phases)."""
+    if runtime is None:
+        return "phase timings: n/a (no simulated cluster in this run)"
+    timings = runtime.phase_timings
+    spill = timings.get("spill", 0.0)
+    spill_note = f" (spill {spill:.3f}s)" if spill else ""
+    return (
+        f"phase timings: map {timings['map']:.3f}s | "
+        f"shuffle {timings['shuffle']:.3f}s{spill_note} | "
+        f"reduce {timings['reduce']:.3f}s "
+        f"[{runtime.jobs_executed} jobs]"
+    )
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     os.makedirs(args.out, exist_ok=True)
@@ -139,6 +155,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
     spill = _spill_summary(runtime)
     if spill:
         print(spill)
+    if args.profile:
+        print(_profile_summary(runtime))
     if runtime is not None and runtime.storage == "disk":
         print(f"dfs root: {runtime.filesystem.root}")
     return 0
@@ -200,6 +218,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
     spill = _spill_summary(runtime)
     if spill:
         print(spill)
+    if args.profile:
+        print(_profile_summary(runtime))
     if args.capacities_out:
         write_capacities(args.capacities_out, graph.capacities())
     return 0
@@ -257,6 +277,13 @@ def _add_cluster_options(
         "map outputs to disk runs once its buffer exceeds N records "
         "(default: keep the whole shuffle in memory; results are "
         "identical either way)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase wall-clock (map/shuffle/spill/reduce) "
+        "accumulated over every MapReduce job of the run "
+        f"({applies_to})",
     )
 
 

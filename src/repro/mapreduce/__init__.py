@@ -46,7 +46,12 @@ from .executors import (
     shutdown_shared_pools,
 )
 from .job import KeyValue, MapReduceJob
-from .partitioner import HashPartitioner, canonical_bytes, stable_hash
+from .partitioner import (
+    HashPartitioner,
+    canonical_bytes,
+    fast_hash_bytes,
+    stable_hash,
+)
 from .pipeline import Pipeline, PipelineStage
 from .runtime import MapReduceRuntime
 from .storage import (
@@ -90,6 +95,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "canonical_bytes",
+    "fast_hash_bytes",
     "resolve_executor",
     "resolve_filesystem",
     "shutdown_shared_pools",

@@ -71,6 +71,12 @@ class Executor:
     #: Canonical backend name, e.g. ``"serial"``.
     name: str = "abstract"
 
+    #: ``True`` when task arguments cross a process boundary and must
+    #: therefore pickle.  The runtime uses this to decide whether a
+    #: reduce task may consume a lazy (unpicklable) record stream from
+    #: the external shuffle or needs a materialized list.
+    picklable_tasks: bool = False
+
     def run_tasks(
         self, fn: TaskFunction, tasks: Sequence[Task]
     ) -> List[Any]:
@@ -196,6 +202,7 @@ class ProcessExecutor(Executor):
     """
 
     name = "processes"
+    picklable_tasks = True
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         self.max_workers = max_workers or _default_workers()

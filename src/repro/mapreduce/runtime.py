@@ -31,8 +31,24 @@ Executor` (``backend="serial" | "threads" | "processes"``).
   partition with the deterministic hash partitioner (pure data
   movement, performed by the driver).
 * A **reduce task** is one unit of work per partition: it sorts its
-  partition by the canonical key order, groups, applies ``job.reduce``
-  to each group, and meters into a task-local :class:`Counters`.
+  partition by the canonical key order (unless the external shuffle
+  already merge-sorted it), groups, applies ``job.reduce`` to each
+  group, and meters into a task-local :class:`Counters`.
+
+The encoded shuffle plane
+-------------------------
+
+Everything between ``job.map`` emitting a pair and ``job.reduce``
+receiving a key group flows as an *encoded record* — the triple
+``(key_bytes, key, value)`` where ``key_bytes = canonical_bytes(key)``
+is computed **exactly once**, at emit time.  Partitioning hashes the
+cached bytes (:meth:`~repro.mapreduce.partitioner.HashPartitioner.
+partition_bytes`, a CRC-based hash far cheaper than the per-record MD5
+it replaced), the combiner and reduce-side sort/group compare the
+cached bytes, and the external shuffle spills and k-way merges them
+byte-first — no stage re-encodes.  The one-encode-per-record invariant
+is asserted by a counting-codec test in
+``tests/mapreduce/test_encoded_plane.py``.
 
 Storage model
 -------------
@@ -46,7 +62,21 @@ bounds the driver-side shuffle: when set, map outputs accumulate in
 per-partition buffers that sort-and-spill to disk runs past the
 threshold and are k-way merged at reduce time
 (:class:`~repro.mapreduce.storage.ExternalShuffle`), metering
-``spilled_records``/``spill_files``/``spilled_bytes``.
+``spilled_records``/``spill_files``/``spilled_bytes``.  Because the
+spill path delivers each partition already merge-sorted, the reduce
+tasks skip their sort; on the serial and threads backends they consume
+the merged runs as a lazy stream, never re-materializing the partition
+driver-side.
+
+Profiling
+---------
+
+Per-phase wall-clock accumulates in :attr:`MapReduceRuntime.
+phase_timings` (``map`` / ``shuffle`` / ``reduce`` / ``spill``
+seconds, across all jobs run by the instance).  Timings are a
+diagnostic meter — deliberately kept out of :class:`Counters`, whose
+totals are part of the bit-identical determinism contract.  The CLI
+surfaces them via ``repro join/match --profile``.
 
 Determinism contract: the runtime collects task results and merges
 task-local counters *in task-index order*, so outputs, ``job_log``, and
@@ -62,18 +92,37 @@ with their side data and records.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+import time
+from operator import itemgetter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from .counters import Counters
 from .errors import JobValidationError
 from .executors import Executor, resolve_executor
 from .job import KeyValue, MapReduceJob
-from .partitioner import HashPartitioner, canonical_bytes
+from .partitioner import HashPartitioner, canonical_bytes, fast_hash_bytes
 from .storage import ExternalShuffle, FileSystem, resolve_filesystem
 
 __all__ = ["MapReduceRuntime"]
 
 Partitioner = Callable[[Any, int], int]
+
+#: One record on the encoded shuffle plane: the canonical key encoding
+#: (computed once, at map-emit time), the key, and the value.
+EncodedRecord = Tuple[bytes, Any, Any]
+
+#: Sort/group key of the encoded plane: the cached canonical bytes.
+_record_key_bytes = itemgetter(0)
 
 
 class MapReduceRuntime:
@@ -88,11 +137,21 @@ class MapReduceRuntime:
         Optional shared :class:`Counters`; a fresh one is created if
         omitted.  All jobs run by this runtime meter into it.
     meter_bytes:
-        When ``True``, the shuffle additionally meters pickled record
-        sizes under ``<job>.shuffle.bytes``.  Off by default because
-        serializing every record is slow for multi-million-edge graphs.
+        When ``True``, the shuffle additionally meters record sizes
+        under ``<job>.shuffle.bytes`` — the cached canonical key bytes
+        plus the pickled value.  Off by default because serializing
+        every value is slow for multi-million-edge graphs.  (The key
+        side, ``shuffle.encoded_bytes``, is metered unconditionally:
+        the encoding already exists, so its size is a free ``len``.)
     partitioner:
-        Shuffle partitioner; defaults to a deterministic hash partitioner.
+        Shuffle partitioner; defaults to a deterministic hash
+        partitioner.  A partitioner whose class defines
+        ``partition_bytes(key_bytes, num_partitions)`` is fed the
+        cached canonical encoding; a plain ``(key, num_partitions)``
+        callable receives the key itself.  (Subclassing
+        :class:`HashPartitioner` and overriding only ``__call__``
+        routes through the override — the inherited byte-level entry
+        point never bypasses it.)
     speculative_execution:
         When ``True``, every map task is executed twice (as a real
         cluster may do for stragglers or after failures) and the two
@@ -161,6 +220,15 @@ class MapReduceRuntime:
         self.spill_dir = spill_dir
         self.jobs_executed = 0
         self.job_log: List[str] = []
+        #: Accumulated wall-clock seconds per phase across every job
+        #: this runtime has run.  A diagnostic meter (``repro ...
+        #: --profile``); never part of the counter determinism contract.
+        self.phase_timings: Dict[str, float] = {
+            "map": 0.0,
+            "shuffle": 0.0,
+            "reduce": 0.0,
+            "spill": 0.0,
+        }
 
     @property
     def backend(self) -> str:
@@ -188,9 +256,31 @@ class MapReduceRuntime:
         """
         job.configure(side_data)
         splits = self._split_input(records)
-        intermediate = self._run_map_phase(job, splits)
-        partitions = self._shuffle(job, intermediate)
-        output = self._run_reduce_phase(job, partitions)
+        spiller: Optional[ExternalShuffle] = None
+        if self.spill_threshold is not None:
+            spiller = ExternalShuffle(
+                self.num_reduce_tasks,
+                self.spill_threshold,
+                spill_dir=self.spill_dir,
+            )
+        try:
+            started = time.perf_counter()
+            intermediate = self._run_map_phase(job, splits)
+            self.phase_timings["map"] += time.perf_counter() - started
+            started = time.perf_counter()
+            partitions = self._shuffle(job, intermediate, spiller)
+            self.phase_timings["shuffle"] += time.perf_counter() - started
+            started = time.perf_counter()
+            # The external shuffle hands each partition over already
+            # merge-sorted, so the reduce tasks skip their sort.
+            output = self._run_reduce_phase(
+                job, partitions, presorted=spiller is not None
+            )
+            self.phase_timings["reduce"] += time.perf_counter() - started
+        finally:
+            if spiller is not None:
+                self.phase_timings["spill"] += spiller.spill_seconds
+                spiller.close()
         self.jobs_executed += 1
         self.job_log.append(job.name)
         self.counters.increment("runtime", "jobs")
@@ -216,7 +306,7 @@ class MapReduceRuntime:
 
     def _run_map_phase(
         self, job: MapReduceJob, splits: List[List[KeyValue]]
-    ) -> List[List[KeyValue]]:
+    ) -> List[List[EncodedRecord]]:
         """Dispatch one map task per split through the executor."""
         results = self.executor.run_tasks(
             _execute_map_task,
@@ -225,15 +315,18 @@ class MapReduceRuntime:
                 for split in splits
             ],
         )
-        intermediate: List[List[KeyValue]] = []
+        intermediate: List[List[EncodedRecord]] = []
         for emitted, task_counters in results:
             self.counters.merge(task_counters)
             intermediate.append(emitted)
         return intermediate
 
     def _shuffle(
-        self, job: MapReduceJob, intermediate: List[List[KeyValue]]
-    ) -> List[List[KeyValue]]:
+        self,
+        job: MapReduceJob,
+        intermediate: List[List[EncodedRecord]],
+        spiller: Optional[ExternalShuffle],
+    ) -> List[Any]:
         """Partition and meter the intermediate records.
 
         With ``spill_threshold=None`` every partition stays in memory
@@ -245,63 +338,107 @@ class MapReduceRuntime:
         Both paths hand each reduce task the same multiset of records
         with equal keys in the same arrival order, so reduce outputs
         are bit-identical either way.
+
+        Routing reuses each record's cached key bytes: the default
+        partitioner hashes them directly via ``partition_bytes``, and
+        byte metering measures them with ``len`` instead of re-pickling
+        the key.
         """
         group = job.name
-        spiller: Optional[ExternalShuffle] = None
-        partitions: List[List[KeyValue]] = [
+        partitions: List[Any] = [
             [] for _ in range(self.num_reduce_tasks)
         ]
-        if self.spill_threshold is not None:
-            spiller = ExternalShuffle(
-                self.num_reduce_tasks,
-                self.spill_threshold,
-                spill_dir=self.spill_dir,
-            )
-        try:
-            shuffled = 0
-            shuffled_bytes = 0
-            for task_index, task_output in enumerate(intermediate):
-                for key, value in task_output:
-                    index = self.partitioner(key, self.num_reduce_tasks)
-                    if not 0 <= index < self.num_reduce_tasks:
+        num_partitions = self.num_reduce_tasks
+        # The default partitioner gets a fully inlined hash-and-mod
+        # (the modulo proves the range, so no per-record validation).
+        # A custom partitioner routes through its byte-level entry
+        # point only when its own class *defines* partition_bytes —
+        # merely inheriting HashPartitioner's must not bypass an
+        # overridden __call__ — and otherwise receives the key itself.
+        default_partitioner = type(self.partitioner) is HashPartitioner
+        partition_bytes = None
+        if not default_partitioner and any(
+            "partition_bytes" in cls.__dict__
+            for cls in type(self.partitioner).__mro__
+            if cls is not HashPartitioner
+        ):
+            partition_bytes = self.partitioner.partition_bytes
+        shuffled = 0
+        encoded_bytes = 0
+        shuffled_bytes = 0
+        for task_index, task_output in enumerate(intermediate):
+            for record in task_output:
+                key_bytes = record[0]
+                if default_partitioner:
+                    index = fast_hash_bytes(key_bytes) % num_partitions
+                else:
+                    if partition_bytes is not None:
+                        index = partition_bytes(
+                            key_bytes, num_partitions
+                        )
+                    else:
+                        index = self.partitioner(
+                            record[1], num_partitions
+                        )
+                    if not 0 <= index < num_partitions:
                         raise JobValidationError(
                             f"partitioner returned {index} for "
-                            f"{self.num_reduce_tasks} partitions"
+                            f"{num_partitions} partitions"
                         )
-                    if spiller is not None:
-                        spiller.add(index, key, value)
-                    else:
-                        partitions[index].append((key, value))
-                    shuffled += 1
-                    if self.meter_bytes:
-                        shuffled_bytes += len(pickle.dumps((key, value)))
                 if spiller is not None:
-                    # These records now live in the spiller's bounded
-                    # buffers or on-disk runs; drop the driver's copy so
-                    # routing never holds the shuffle twice.
-                    intermediate[task_index] = []
+                    spiller.add(index, record)
+                else:
+                    partitions[index].append(record)
+                shuffled += 1
+                encoded_bytes += len(key_bytes)
+                if self.meter_bytes:
+                    shuffled_bytes += len(key_bytes) + len(
+                        pickle.dumps(record[2], pickle.HIGHEST_PROTOCOL)
+                    )
             if spiller is not None:
+                # These records now live in the spiller's bounded
+                # buffers or on-disk runs; drop the driver's copy so
+                # routing never holds the shuffle twice.
+                intermediate[task_index] = []
+        if spiller is not None:
+            if self.executor.picklable_tasks:
+                # Task arguments cross a process boundary: materialize.
                 partitions = [
                     spiller.merged_partition(index)
-                    for index in range(self.num_reduce_tasks)
+                    for index in range(num_partitions)
                 ]
-                spiller.meter(self.counters, group)
-        finally:
-            if spiller is not None:
-                spiller.close()
+            else:
+                # Shared-memory executors consume the merged runs
+                # lazily — the partition is never re-materialized
+                # driver-side.  (Run files live until after reduce;
+                # ``run`` closes the spiller in its ``finally``.)
+                partitions = [
+                    spiller.merged_stream(index)
+                    for index in range(num_partitions)
+                ]
+            spiller.meter(self.counters, group)
         self.counters.increment(group, "shuffle.records", shuffled)
         self.counters.increment("runtime", "shuffle.records", shuffled)
+        self.counters.increment(
+            group, "shuffle.encoded_bytes", encoded_bytes
+        )
+        self.counters.increment(
+            "runtime", "shuffle.encoded_bytes", encoded_bytes
+        )
         if self.meter_bytes:
             self.counters.increment(group, "shuffle.bytes", shuffled_bytes)
         return partitions
 
     def _run_reduce_phase(
-        self, job: MapReduceJob, partitions: List[List[KeyValue]]
+        self,
+        job: MapReduceJob,
+        partitions: List[Any],
+        presorted: bool,
     ) -> List[KeyValue]:
         """Dispatch one reduce task per partition through the executor."""
         results = self.executor.run_tasks(
             _execute_reduce_task,
-            [(job, partition) for partition in partitions],
+            [(job, partition, presorted) for partition in partitions],
         )
         output: List[KeyValue] = []
         for task_output, task_counters in results:
@@ -328,7 +465,7 @@ class MapReduceRuntime:
 
 def _execute_map_task(
     job: MapReduceJob, split: List[KeyValue], speculative: bool
-) -> Tuple[List[KeyValue], Counters]:
+) -> Tuple[List[EncodedRecord], Counters]:
     """One map task: map every record, verify retries, combine, meter."""
     counters = Counters()
     group = job.name
@@ -353,43 +490,69 @@ def _attempt_map(
     split: List[KeyValue],
     group: str,
     counters: Optional[Counters],
-) -> List[KeyValue]:
-    """Run one attempt of a map task (``counters=None`` for retries)."""
-    emitted: List[KeyValue] = []
+) -> List[EncodedRecord]:
+    """Run one attempt of a map task (``counters=None`` for retries).
+
+    This is where intermediate records enter the encoded plane: each
+    emitted pair is validated and its key canonically encoded — the one
+    and only ``canonical_bytes`` call that record will ever see.
+    """
+    emitted: List[EncodedRecord] = []
+    if counters is not None and split:
+        counters.increment(group, "map.input.records", len(split))
     for key, value in split:
-        if counters is not None:
-            counters.increment(group, "map.input.records")
         produced = job.map(key, value)
         if produced is None:
             raise JobValidationError(
                 f"{job.name}.map returned None; return an iterable"
             )
         for pair in produced:
-            emitted.append(_validated_pair(job, pair))
+            if type(pair) is not tuple or len(pair) != 2:
+                _validated_pair(job, pair)
+            out_key, out_value = pair
+            emitted.append(
+                (canonical_bytes(out_key), out_key, out_value)
+            )
     return emitted
 
 
 def _apply_combiner(
-    job: MapReduceJob, emitted: List[KeyValue]
-) -> List[KeyValue]:
-    """Group one map task's output by key and apply ``job.combine``."""
-    grouped = _group_sorted(_sorted_by_key(emitted))
-    combined: List[KeyValue] = []
-    for key, values in grouped:
+    job: MapReduceJob, emitted: List[EncodedRecord]
+) -> List[EncodedRecord]:
+    """Group one map task's output by key and apply ``job.combine``.
+
+    Sorting and grouping compare the cached key bytes; only the
+    combiner's *output* records — new intermediate records — are
+    encoded, once each, as they enter the plane.
+    """
+    emitted.sort(key=_record_key_bytes)  # stable: arrival order kept
+    combined: List[EncodedRecord] = []
+    for key, values in _group_encoded(emitted):
         for pair in job.combine(key, values):
-            combined.append(_validated_pair(job, pair))
+            if type(pair) is not tuple or len(pair) != 2:
+                _validated_pair(job, pair)
+            out_key, out_value = pair
+            combined.append(
+                (canonical_bytes(out_key), out_key, out_value)
+            )
     return combined
 
 
 def _execute_reduce_task(
-    job: MapReduceJob, partition: List[KeyValue]
+    job: MapReduceJob,
+    partition: Iterable[EncodedRecord],
+    presorted: bool,
 ) -> Tuple[List[KeyValue], Counters]:
-    """One reduce task: sort its partition, group, reduce, meter."""
+    """One reduce task: sort its partition (unless the external shuffle
+    already merge-sorted it), group, reduce, meter."""
     counters = Counters()
     group = job.name
+    if not presorted:
+        partition = sorted(partition, key=_record_key_bytes)
     output: List[KeyValue] = []
-    for key, values in _group_sorted(_sorted_by_key(partition)):
-        counters.increment(group, "reduce.input.groups")
+    groups = 0
+    for key, values in _group_encoded(partition):
+        groups += 1
         produced = job.reduce(key, values)
         if produced is None:
             raise JobValidationError(
@@ -397,7 +560,11 @@ def _execute_reduce_task(
                 "iterable"
             )
         for pair in produced:
-            output.append(_validated_pair(job, pair))
+            if type(pair) is not tuple or len(pair) != 2:
+                _validated_pair(job, pair)
+            output.append(pair)
+    if groups:
+        counters.increment(group, "reduce.input.groups", groups)
     counters.increment(group, "reduce.output.records", len(output))
     return output, counters
 
@@ -410,31 +577,25 @@ def _validated_pair(job: MapReduceJob, pair: Any) -> KeyValue:
     return pair
 
 
-def _sorted_by_key(records: List[KeyValue]) -> List[KeyValue]:
-    """Sort records by the canonical byte order of their keys.
+def _group_encoded(
+    records: Iterable[EncodedRecord],
+) -> Iterator[Tuple[Any, List[Any]]]:
+    """Group a key-sorted encoded-record stream into ``(key, [values])``.
 
-    A canonical encoding (rather than Python's ``<``) keeps the order
-    deterministic even for keys of mixed types, mirroring Hadoop's
-    byte-wise comparators.  The sort is stable, so values of equal keys
-    keep their arrival order.
+    Key equality is byte equality on the cached canonical encoding —
+    no re-encoding, and it works for keys of mixed types exactly like
+    the sort order does.  The stream may be lazy (the external
+    shuffle's merged runs); it is consumed once, in order.
     """
-    return sorted(records, key=lambda kv: canonical_bytes(kv[0]))
-
-
-def _group_sorted(
-    records: List[KeyValue],
-) -> Iterable[Tuple[Any, List[Any]]]:
-    """Group a key-sorted record list into ``(key, [values])`` runs."""
     run_key: Any = None
     run_bytes: Optional[bytes] = None
     run_values: List[Any] = []
-    for key, value in records:
-        encoded = canonical_bytes(key)
-        if run_bytes is not None and encoded == run_bytes:
+    for key_bytes, key, value in records:
+        if run_bytes is not None and key_bytes == run_bytes:
             run_values.append(value)
         else:
             if run_bytes is not None:
                 yield run_key, run_values
-            run_key, run_bytes, run_values = key, encoded, [value]
+            run_key, run_bytes, run_values = key, key_bytes, [value]
     if run_bytes is not None:
         yield run_key, run_values

@@ -39,12 +39,20 @@ from __future__ import annotations
 
 import base64
 import json
-from typing import Any
+import pickle
+from typing import Any, BinaryIO, Iterator, Tuple
 
 from ..job import KeyValue
 from .base import FileSystemError
 
-__all__ = ["encode_value", "decode_value", "dumps_record", "loads_record"]
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "dumps_record",
+    "loads_record",
+    "write_run_record",
+    "read_run_records",
+]
 
 _SCALARS = (bool, int, float, str)
 
@@ -124,3 +132,63 @@ def loads_record(line: str) -> KeyValue:
         raise FileSystemError(
             f"malformed record line {line!r}: {exc}"
         ) from None
+
+
+# -- spill-run codec ---------------------------------------------------------
+#
+# The external shuffle's run files hold *encoded records* — the
+# ``(key_bytes, key, value)`` triples of the runtime's encoded shuffle
+# plane — as length-prefixed binary frames::
+#
+#     [4-byte len(key_bytes)] [key_bytes] [4-byte len(payload)] [payload]
+#
+# where ``payload`` is the pickled ``(key, value)`` pair.  Writing a
+# frame reuses the canonical key encoding computed at map time (the
+# encode-once contract extends to disk), and reading one restores the
+# full triple without re-encoding, so a spilled record is merge-sorted
+# and grouped by raw byte comparison exactly like an in-memory one.
+# Run files are private intermediates (deleted after the job), never an
+# interchange surface — hence pickle payloads rather than JSONL.
+
+EncodedRecord = Tuple[bytes, Any, Any]
+
+
+def write_run_record(handle: BinaryIO, record: EncodedRecord) -> None:
+    """Append one encoded record to an open run file."""
+    key_bytes = record[0]
+    payload = pickle.dumps(
+        (record[1], record[2]), pickle.HIGHEST_PROTOCOL
+    )
+    handle.write(len(key_bytes).to_bytes(4, "big"))
+    handle.write(key_bytes)
+    handle.write(len(payload).to_bytes(4, "big"))
+    handle.write(payload)
+
+
+def read_run_records(handle: BinaryIO) -> Iterator[EncodedRecord]:
+    """Stream encoded records back from an open run file.
+
+    Every truncation point — a short header, short key bytes, or a
+    short payload (e.g. the disk filled mid-spill) — raises
+    :class:`FileSystemError` rather than desyncing into a silent
+    partial read or an opaque unpickling error.
+    """
+    while True:
+        header = handle.read(4)
+        if not header:
+            return
+        if len(header) != 4:
+            raise FileSystemError("truncated spill-run frame header")
+        key_size = int.from_bytes(header, "big")
+        key_bytes = handle.read(key_size)
+        if len(key_bytes) != key_size:
+            raise FileSystemError("truncated spill-run frame key")
+        size_bytes = handle.read(4)
+        if len(size_bytes) != 4:
+            raise FileSystemError("truncated spill-run frame")
+        payload_size = int.from_bytes(size_bytes, "big")
+        payload = handle.read(payload_size)
+        if len(payload) != payload_size:
+            raise FileSystemError("truncated spill-run frame payload")
+        key, value = pickle.loads(payload)
+        yield key_bytes, key, value

@@ -8,12 +8,18 @@ alternative — the *external* shuffle:
 1. **accumulate** — intermediate records route to a bounded in-memory
    buffer per reduce partition;
 2. **sort & spill** — when a partition's buffer exceeds the configured
-   ``spill_threshold``, it is sorted by the canonical key order
-   (:func:`~repro.mapreduce.partitioner.canonical_bytes`) and streamed
-   to a *run file* on disk, then cleared;
+   ``spill_threshold``, it is sorted by the canonical key order and
+   streamed to a *run file* on disk, then cleared;
 3. **merge** — at reduce time, each partition's spilled runs and its
    in-memory tail are k-way merged with :func:`heapq.merge` over the
    same canonical order, yielding the partition fully key-sorted.
+
+Encoded records.  The shuffle operates on the runtime's *encoded
+shuffle plane*: every record is a ``(key_bytes, key, value)`` triple
+whose first element is the canonical key encoding computed exactly once
+at map time.  Spill sorting, run-file IO (the frame codec in
+:mod:`repro.mapreduce.storage.codec`), and the k-way merge all compare
+those cached bytes — this module never calls ``canonical_bytes``.
 
 Determinism.  Every spill is a *stable* sort of a contiguous chunk of
 the arrival sequence, runs are merged in spill order, and
@@ -30,37 +36,38 @@ Metering.  Spill activity is observable through three counters
 ``spilled_bytes``, incremented per job and under the global ``runtime``
 group.  These counters are the *only* permitted divergence between runs
 at different spill thresholds — strip them and counter totals must
-match exactly.
+match exactly.  Wall-clock spent sorting, writing, and compacting runs
+accumulates in :attr:`ExternalShuffle.spill_seconds` (a timing meter,
+surfaced by the runtime's ``phase_timings`` and the CLI ``--profile``
+flag — never part of the bit-identical counter contract).
 
-Run files hold pickled records (private intermediates, never an
-interchange surface) in a directory created lazily on first spill and
-removed by :meth:`ExternalShuffle.close`.
+Run files hold length-prefixed encoded-record frames (see
+``write_run_record`` in the codec module) in a directory created lazily
+on first spill and removed by :meth:`ExternalShuffle.close`.
 
-Scope.  What is bounded today is the *shuffle buffering*: while records
-are routed, at most ``spill_threshold`` of them per partition sit in
-RAM (the runtime also releases each map task's output list once
-routed), with the bulk of the shuffle parked in run files.  Reduce
-dispatch then re-materializes one list per partition, because the
-executor contract ships each reduce task its records (possibly across
-a process boundary); streaming merged runs straight into reduce tasks
-is the follow-up that finishes the job — this module's run-file format
-and :meth:`ExternalShuffle.merged_partition` are already
-iterator-based for it.
+Scope.  While records are routed, at most ``spill_threshold`` of them
+per partition sit in RAM (the runtime also releases each map task's
+output list once routed), with the bulk of the shuffle parked in run
+files.  For executors that can share memory (serial, threads) the
+runtime hands each reduce task the lazy :meth:`merged_stream`, so a
+partition is never re-materialized driver-side; only the ``processes``
+backend — whose task arguments must pickle — still receives the
+materialized :meth:`merged_partition` list.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
-import pickle
 import shutil
 import tempfile
+import time
+from operator import itemgetter
 from typing import Any, Iterator, List, Optional
 
 from ..counters import Counters
 from ..errors import MapReduceError
-from ..job import KeyValue
-from ..partitioner import canonical_bytes
+from .codec import EncodedRecord, read_run_records, write_run_record
 
 __all__ = ["ExternalShuffle", "SPILL_COUNTERS", "strip_spill_counters"]
 
@@ -68,9 +75,8 @@ __all__ = ["ExternalShuffle", "SPILL_COUNTERS", "strip_spill_counters"]
 #: allowed to differ between runs at different spill thresholds.
 SPILL_COUNTERS = ("spilled_records", "spill_files", "spilled_bytes")
 
-
-def _sort_key(record: KeyValue) -> bytes:
-    return canonical_bytes(record[0])
+#: Sort/merge key of the encoded plane: the cached canonical key bytes.
+_sort_key = itemgetter(0)
 
 
 def strip_spill_counters(snapshot: dict) -> dict:
@@ -139,7 +145,7 @@ class ExternalShuffle:
         self.merge_factor = merge_factor
         self._spill_parent = spill_dir
         self._directory: Optional[str] = None
-        self._buffers: List[List[KeyValue]] = [
+        self._buffers: List[List[EncodedRecord]] = [
             [] for _ in range(num_partitions)
         ]
         self._runs: List[List[str]] = [[] for _ in range(num_partitions)]
@@ -147,13 +153,14 @@ class ExternalShuffle:
         self.spilled_records = 0
         self.spill_files = 0
         self.spilled_bytes = 0
+        self.spill_seconds = 0.0
 
     # -- accumulate --------------------------------------------------------
 
-    def add(self, partition: int, key: Any, value: Any) -> None:
-        """Route one intermediate record to its partition buffer."""
+    def add(self, partition: int, record: EncodedRecord) -> None:
+        """Route one encoded record to its partition buffer."""
         buffer = self._buffers[partition]
-        buffer.append((key, value))
+        buffer.append(record)
         if len(buffer) > self.spill_threshold:
             self._spill(partition)
 
@@ -164,6 +171,7 @@ class ExternalShuffle:
         buffer = self._buffers[partition]
         if not buffer:
             return
+        started = time.perf_counter()
         buffer.sort(key=_sort_key)  # list.sort is stable
         if self._directory is None:
             if self._spill_parent is not None:
@@ -177,71 +185,85 @@ class ExternalShuffle:
         )
         with open(run_path, "wb") as handle:
             for record in buffer:
-                pickle.dump(record, handle, pickle.HIGHEST_PROTOCOL)
+                write_run_record(handle, record)
             size = handle.tell()
         self._runs[partition].append(run_path)
         self.spilled_records += len(buffer)
         self.spill_files += 1
         self.spilled_bytes += size
         self._buffers[partition] = []
+        self.spill_seconds += time.perf_counter() - started
 
     @staticmethod
-    def _read_run(run_path: str) -> Iterator[KeyValue]:
-        """Stream records back from one run file."""
+    def _read_run(run_path: str) -> Iterator[EncodedRecord]:
+        """Stream encoded records back from one run file."""
         with open(run_path, "rb") as handle:
-            while True:
-                try:
-                    yield pickle.load(handle)
-                except EOFError:
-                    return
+            yield from read_run_records(handle)
 
     # -- merge -------------------------------------------------------------
 
-    def merged_partition(self, partition: int) -> List[KeyValue]:
-        """One partition, fully sorted by the canonical key order.
+    def merged_stream(self, partition: int) -> Iterator[EncodedRecord]:
+        """One partition as a lazy, fully key-sorted record stream.
 
         K-way merges the partition's spilled runs (in spill order) with
         its sorted in-memory tail; ``heapq.merge`` prefers earlier
         iterables on equal keys, which preserves arrival order.  When a
         partition holds more than ``merge_factor`` runs, prefix batches
-        are compacted into single runs first (multi-pass merge), so no
-        merge ever opens more than ``merge_factor + 1`` files — batches
-        are contiguous and the compacted run takes the batch's place in
-        spill order, which keeps the equal-key tie-breaking identical.
+        are compacted into single runs first (multi-pass merge, done
+        eagerly on this call), so no merge ever opens more than
+        ``merge_factor + 1`` files — batches are contiguous and the
+        compacted run takes the batch's place in spill order, which
+        keeps the equal-key tie-breaking identical.
+
+        The returned iterator reads run files on demand: it is only
+        valid until :meth:`close`.  Each call returns an independent
+        stream.
         """
         tail = sorted(self._buffers[partition], key=_sort_key)
         runs = list(self._runs[partition])
         while len(runs) > self.merge_factor:
             batch, runs = runs[: self.merge_factor], runs[self.merge_factor :]
-            runs.insert(0, self._compact_runs(partition, batch))
+            runs.insert(0, self._compact_runs(batch))
         self._runs[partition] = runs
         if not runs:
-            return tail
+            return iter(tail)
         streams = [self._read_run(path) for path in runs]
         streams.append(iter(tail))
-        return list(heapq.merge(*streams, key=_sort_key))
+        return heapq.merge(*streams, key=_sort_key)
 
-    def _compact_runs(self, partition: int, batch: List[str]) -> str:
+    def merged_partition(self, partition: int) -> List[EncodedRecord]:
+        """One partition, fully sorted, materialized as a list.
+
+        Same contents as :meth:`merged_stream`; used when the records
+        must cross a process boundary (the ``processes`` executor
+        pickles task arguments) or outlive the shuffle.
+        """
+        return list(self.merged_stream(partition))
+
+    def _compact_runs(self, batch: List[str]) -> str:
         """Stream-merge a batch of runs into one replacement run file.
 
         The consumed run files are deleted immediately, so a multi-pass
         merge's extra disk footprint is bounded by one batch.  Merge
         passes are not metered as new spills: the spill counters report
         map-output spilling, and cross-threshold counter equality must
-        not depend on the merge fan-in.
+        not depend on the merge fan-in.  Compaction wall-clock does
+        accumulate in :attr:`spill_seconds` (a timing meter only).
         """
         assert self._directory is not None  # batches imply prior spills
+        started = time.perf_counter()
         merged_path = os.path.join(
             self._directory,
-            f"part{partition:05d}-merge{self._merge_sequence:05d}",
+            f"merge{self._merge_sequence:05d}",
         )
         self._merge_sequence += 1
         streams = [self._read_run(path) for path in batch]
         with open(merged_path, "wb") as handle:
             for record in heapq.merge(*streams, key=_sort_key):
-                pickle.dump(record, handle, pickle.HIGHEST_PROTOCOL)
+                write_run_record(handle, record)
         for path in batch:
             os.unlink(path)
+        self.spill_seconds += time.perf_counter() - started
         return merged_path
 
     def meter(self, counters: Counters, group: str) -> None:

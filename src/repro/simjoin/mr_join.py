@@ -4,29 +4,54 @@ Pipeline (each step one MapReduce job):
 
 1. **term-bounds** — scan the consumer collection and compute, per term,
    the maximum weight (the pruning bound of the pruned inverted index);
-2. **candidates** — build the pruned inverted index: items post only
-   their *prefix* terms (see :mod:`repro.simjoin.prefix_filter`),
-   consumers post all their terms; each reduce emits the cross-side
-   pairs sharing that term;
-3. **verify** — deduplicate candidate pairs and compute the exact dot
-   product against the document stores (shipped as side data, the
-   analogue of Hadoop's DistributedCache); pairs at or above ``σ``
-   become candidate edges.
+2. **candidates** — build the inverted index and emit *partial scores*:
+   items whose prefix (see :mod:`repro.simjoin.prefix_filter`) is
+   non-empty post all their terms with weights, consumers post all
+   their terms with weights; each reduce emits, for every cross-side
+   pair sharing that term, the weight product ``w_t(j) · w_c(j)``
+   (tagged with whether ``j`` is a prefix term of the item);
+3. **verify** — a pure sum-and-threshold: group the products by pair,
+   sum them (a combiner pre-aggregates map-side), and keep pairs that
+   co-occurred on at least one prefix term and reach ``σ``.
+
+The verify stage is a *partial-score kernel* in the style of Vernica
+et al. / DISCO (see PAPERS.md): the exact dot product of a pair is
+assembled in the shuffle as the sum of its per-term weight products.
+Earlier revisions instead shipped both full document stores to every
+verify task as side data — the DistributedCache anti-pattern, whose
+cost (replicating the corpus to every reduce task) dwarfs the shuffle
+it saved.  The trade: candidate map output grows from prefix-only to
+all item terms, while verify needs no side data beyond the scalar
+``σ`` and its shuffle carries ``(pair, product)`` records that the
+combiner collapses per map task.
+
+Pruning still earns its keep in two places: an item whose prefix is
+*empty* cannot reach ``σ`` against any consumer and posts nothing at
+all, and the prefix-hit count gates verification exactly like the
+pruned index used to — a pair sharing no prefix term is provably
+sub-threshold (the bound of :mod:`repro.simjoin.prefix_filter`) and is
+discarded without a threshold comparison.
 
 The paper reports two MapReduce iterations for the self-join of
 Baraglia et al. (term statistics precomputed); our bipartite variant
 spends one extra job on the term bounds, which we report honestly in
 the job counts.
 
-The join is *exact*: its output is identical to
-:func:`repro.simjoin.allpairs.exact_similarity_join` (property-tested).
-Only cross-side (item, consumer) pairs are produced — the modification
-of the self-join algorithm described in §5.1.
+The join is *exact up to float summation order*: it evaluates the same
+mathematical dot product as :func:`repro.simjoin.allpairs.
+exact_similarity_join`, but sums the per-term products in shuffle
+order rather than dict-iteration order, so scores can differ in the
+last ulp — and a pair whose true score sits within an ulp of ``σ``
+could in principle land on the other side of the threshold.  The
+property tests draw weights from an exactly-representable grid, where
+both summations are exact and the outputs are bit-identical.  Only
+cross-side (item, consumer) pairs are produced — the modification of
+the self-join algorithm described in §5.1.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple
 
 from ..mapreduce import (
     FileSystem,
@@ -35,7 +60,6 @@ from ..mapreduce import (
     MapReduceRuntime,
     Pipeline,
 )
-from ..text.vectors import dot
 from .prefix_filter import prefix_terms
 
 __all__ = [
@@ -72,9 +96,16 @@ class TermBoundsJob(MapReduceJob):
 
 
 class CandidateJob(MapReduceJob):
-    """Job 2: pruned inverted index + cross-side candidate generation.
+    """Job 2: inverted index + per-term partial-score products.
 
     Side data: ``max_weights`` (output of job 1) and ``sigma``.
+
+    Item postings are ``(tag, doc_id, weight, is_prefix)``; consumer
+    postings are ``(tag, doc_id, weight)``.  Each term's reduce crosses
+    the two sides and emits one ``(pair, (product, prefix_hit))``
+    record per co-occurrence — the raw material VerifyJob sums into
+    exact dot products.  Items that cannot reach ``sigma`` against any
+    consumer (empty prefix) post nothing.
     """
 
     name = "simjoin-candidates"
@@ -84,46 +115,66 @@ class CandidateJob(MapReduceJob):
         if tag == ITEM_TAG:
             bounds = self.side_data["max_weights"]
             sigma = self.side_data["sigma"]
-            for term in prefix_terms(vector, bounds, sigma):
-                yield term, (ITEM_TAG, doc_id)
+            prefix = set(prefix_terms(vector, bounds, sigma))
+            if not prefix:
+                return  # provably below sigma against every consumer
+            for term, weight in vector.items():
+                yield term, (ITEM_TAG, doc_id, weight, term in prefix)
         else:
-            for term in vector:
-                yield term, (CONSUMER_TAG, doc_id)
+            for term, weight in vector.items():
+                yield term, (CONSUMER_TAG, doc_id, weight)
 
     def reduce(self, term, postings: List) -> Iterable[KeyValue]:
-        item_ids = sorted(d for tag, d in postings if tag == ITEM_TAG)
-        consumer_ids = sorted(
-            d for tag, d in postings if tag == CONSUMER_TAG
+        items = sorted(
+            (p[1], p[2], p[3]) for p in postings if p[0] == ITEM_TAG
         )
-        for item in item_ids:
-            for consumer in consumer_ids:
-                yield (item, consumer), 1
+        consumers = sorted(
+            (p[1], p[2]) for p in postings if p[0] == CONSUMER_TAG
+        )
+        for item, item_weight, is_prefix in items:
+            hit = 1 if is_prefix else 0
+            for consumer, consumer_weight in consumers:
+                yield (item, consumer), (
+                    item_weight * consumer_weight,
+                    hit,
+                )
 
 
 class VerifyJob(MapReduceJob):
-    """Job 3: deduplicate candidates and verify the exact similarity.
+    """Job 3: sum the partial scores per pair and apply the threshold.
 
-    Side data: the two document stores and ``sigma``.  Grouping by the
-    pair key performs the deduplication; the reduce recomputes the full
-    dot product, discarding sub-threshold candidates.
+    Side data: ``sigma`` — a scalar, not the document stores.  Grouping
+    by the pair key gathers every per-term product of that pair; the
+    sum is the exact dot product.  The combiner pre-sums map-side
+    (addition is associative and commutative), shrinking the shuffle to
+    at most one record per pair per map task.  Pairs with no prefix
+    co-occurrence are discarded — by the prefix-filter bound they are
+    provably below ``sigma``, so this reproduces the pruned index's
+    candidate set exactly.
     """
 
     name = "simjoin-verify"
     has_combiner = True
 
-    def map(self, pair, count) -> Iterable[KeyValue]:
-        yield pair, count
+    def map(self, pair, partial) -> Iterable[KeyValue]:
+        yield pair, partial
 
-    def combine(self, pair, counts: List[int]) -> Iterable[KeyValue]:
-        yield pair, 1  # deduplicate early to shrink the shuffle
+    def combine(self, pair, partials: List) -> Iterable[KeyValue]:
+        score = 0.0
+        prefix_hits = 0
+        for product, hit in partials:
+            score += product
+            prefix_hits += hit
+        yield pair, (score, prefix_hits)
 
-    def reduce(self, pair, counts: List[int]) -> Iterable[KeyValue]:
-        item, consumer = pair
-        items: Mapping = self.side_data["items"]
-        consumers: Mapping = self.side_data["consumers"]
-        similarity = dot(items[item], consumers[consumer])
-        if similarity >= self.side_data["sigma"]:
-            yield (item, consumer), similarity
+    def reduce(self, pair, partials: List) -> Iterable[KeyValue]:
+        score = 0.0
+        prefix_hits = 0
+        for product, hit in partials:
+            score += product
+            prefix_hits += hit
+        if prefix_hits and score >= self.side_data["sigma"]:
+            yield pair, score
 
 
 def mapreduce_similarity_join(
@@ -141,7 +192,9 @@ def mapreduce_similarity_join(
     intermediates, and the verified edges live on disk, and a
     ``spill_threshold`` additionally bounds the shuffle buffers.  The
     returned rows are bit-identical across storage backends, spill
-    thresholds, and execution backends.
+    thresholds, and execution backends (scores may differ in the last
+    ulp across *map task counts*, which change how the verify combiner
+    groups the partial sums).
 
     On the default in-memory filesystem (no explicit ``filesystem``)
     the ``/simjoin/*`` datasets are deleted before returning, so this
@@ -186,12 +239,16 @@ def similarity_join_pipeline(
     and writes named datasets on the (simulated or on-disk) distributed
     filesystem — by default the runtime's own (``storage=`` at runtime
     construction) — so intermediate results — the term bounds under
-    ``/simjoin/term_bounds``, the candidate pairs under
+    ``/simjoin/term_bounds``, the per-pair partial scores under
     ``/simjoin/candidates`` — are inspectable after the run.  Running
     the returned pipeline produces the verified edges at
     ``/simjoin/edges`` (and as ``Pipeline.run()``'s return value);
     output is identical to :func:`mapreduce_similarity_join`, which
     delegates here.
+
+    No stage ships a document store as side data: job 2 reads the term
+    bounds (one scalar per term) and job 3 only ``sigma`` — the corpus
+    itself flows exclusively through datasets and the shuffle.
     """
     if sigma <= 0:
         raise ValueError(f"sigma must be positive, got {sigma}")
@@ -221,10 +278,6 @@ def similarity_join_pipeline(
         VerifyJob(),
         ["/simjoin/candidates"],
         "/simjoin/edges",
-        side_data=lambda fs: {
-            "items": dict(items),
-            "consumers": dict(consumers),
-            "sigma": sigma,
-        },
+        side_data=lambda fs: {"sigma": sigma},
     )
     return pipeline

@@ -1,0 +1,320 @@
+"""The encoded shuffle plane's contracts.
+
+The runtime computes ``canonical_bytes(key)`` exactly once per
+intermediate record — at map-emit time — and carries the
+``(key_bytes, key, value)`` triple through partitioning, the in-memory
+shuffle, the external sort-and-spill shuffle, and the reduce-side
+sort/group.  These tests pin:
+
+* the **encode-once invariant**, by counting calls through a patched
+  codec (with and without a combiner, with and without spilling);
+* **equal-key arrival order** through the encoded plane, at every
+  spill threshold;
+* the **presorted hand-off**: the spill path delivers merge-sorted
+  partitions and the reduce task must not destroy that (outputs match
+  the in-memory path bit-identically);
+* the ``shuffle.encoded_bytes`` counter and ``phase_timings`` meters.
+"""
+
+import pytest
+
+from repro.mapreduce import (
+    MapReduceJob,
+    MapReduceRuntime,
+    canonical_bytes,
+)
+from repro.mapreduce import runtime as runtime_module
+from repro.mapreduce import partitioner as partitioner_module
+
+
+class PlainWordCount(MapReduceJob):
+    name = "PlainWordCount"
+
+    def map(self, key, line):
+        for word in line.split():
+            yield word, 1
+
+    def reduce(self, word, counts):
+        yield word, sum(counts)
+
+
+class CombiningWordCount(PlainWordCount):
+    name = "CombiningWordCount"
+    has_combiner = True
+
+    def combine(self, word, counts):
+        yield word, sum(counts)
+
+
+class ArrivalOrder(MapReduceJob):
+    """Reduce output is the exact value arrival sequence per key."""
+
+    def map(self, key, value):
+        yield key % 2, (key, value)
+
+    def reduce(self, key, values):
+        yield key, list(values)
+
+
+LINES = [
+    (0, "the quick brown fox"),
+    (1, "the lazy dog the fox"),
+    (2, "jumps over the lazy dog"),
+]
+
+
+class _CountingCodec:
+    """A transparent wrapper around canonical_bytes that counts calls."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, key):
+        self.calls += 1
+        return canonical_bytes(key)
+
+
+@pytest.fixture
+def counting_codec(monkeypatch):
+    codec = _CountingCodec()
+    # The runtime's task units are the only legal encoding site; patch
+    # the name they resolve, plus the partitioner module's own global
+    # so any regression that re-routes encoding through it is counted
+    # too.
+    monkeypatch.setattr(runtime_module, "canonical_bytes", codec)
+    monkeypatch.setattr(partitioner_module, "canonical_bytes", codec)
+    return codec
+
+
+def _map_emissions(job_factory, records):
+    """How many records the raw map phase emits (pre-combine)."""
+    emissions = 0
+    job = job_factory()
+    for key, value in records:
+        emissions += len(list(job.map(key, value)))
+    return emissions
+
+
+def test_encode_once_without_combiner(counting_codec):
+    runtime = MapReduceRuntime(num_map_tasks=3, num_reduce_tasks=3)
+    runtime.run(PlainWordCount(), LINES)
+    assert counting_codec.calls == _map_emissions(PlainWordCount, LINES)
+
+
+def test_encode_once_with_combiner(counting_codec):
+    """With a combiner, the combiner's outputs are new intermediate
+    records: total encodes == map emissions + combiner emissions."""
+    runtime = MapReduceRuntime(num_map_tasks=3, num_reduce_tasks=3)
+    runtime.run(CombiningWordCount(), LINES)
+    map_emitted = _map_emissions(CombiningWordCount, LINES)
+    combined = runtime.counters.get(
+        "CombiningWordCount", "map.output.records"
+    )
+    assert counting_codec.calls == map_emitted + combined
+
+
+@pytest.mark.parametrize("threshold", [0, 2])
+def test_encode_once_with_spilling(counting_codec, tmp_path, threshold):
+    """The external shuffle spills, merges, and regroups without a
+    single re-encode: run files carry the cached bytes."""
+    runtime = MapReduceRuntime(
+        num_map_tasks=3,
+        num_reduce_tasks=3,
+        spill_threshold=threshold,
+        spill_dir=str(tmp_path),
+    )
+    runtime.run(PlainWordCount(), LINES)
+    assert runtime.counters.get("runtime", "spilled_records") > 0
+    assert counting_codec.calls == _map_emissions(PlainWordCount, LINES)
+
+
+@pytest.mark.parametrize("threshold", [None, 0, 1, 5])
+def test_equal_key_arrival_order_preserved(tmp_path, threshold):
+    """Values of equal keys reach reduce in arrival order — i.e. map
+    task index order, then emission order — on every shuffle path."""
+    records = [(i, f"v{i}") for i in range(40)]
+    runtime = MapReduceRuntime(
+        num_map_tasks=4,
+        num_reduce_tasks=3,
+        spill_threshold=threshold,
+        spill_dir=str(tmp_path),
+    )
+    output = dict(runtime.run(ArrivalOrder(), records))
+    for parity, values in output.items():
+        # Arrival order: split k holds keys k, k+4, ...; splits are
+        # routed in task order, so per key-parity the (key, value)
+        # pairs arrive sorted by (key % 4, key).
+        expected = sorted(
+            ((k, f"v{k}") for k, _ in records if k % 2 == parity),
+            key=lambda kv: (kv[0] % 4, kv[0]),
+        )
+        assert values == expected
+
+
+def test_spill_path_bit_identical_to_memory_path(tmp_path):
+    """The presorted hand-off (reduce skips its sort after a spill
+    merge) changes nothing observable."""
+    records = [(i % 7, i) for i in range(60)]
+    baseline = MapReduceRuntime(num_map_tasks=3, num_reduce_tasks=4)
+    expected = baseline.run(ArrivalOrder(), records)
+    for threshold in (0, 3, 1000):
+        runtime = MapReduceRuntime(
+            num_map_tasks=3,
+            num_reduce_tasks=4,
+            spill_threshold=threshold,
+            spill_dir=str(tmp_path / str(threshold)),
+        )
+        assert runtime.run(ArrivalOrder(), records) == expected
+
+
+def test_shuffle_encoded_bytes_metered():
+    """shuffle.encoded_bytes = total cached key bytes, unconditionally
+    metered (no meter_bytes flag needed) and config-independent."""
+    runtime = MapReduceRuntime()
+    runtime.run(PlainWordCount(), LINES)
+    expected = sum(
+        len(canonical_bytes(word))
+        for _, line in LINES
+        for word in line.split()
+    )
+    assert (
+        runtime.counters.get("PlainWordCount", "shuffle.encoded_bytes")
+        == expected
+    )
+    assert (
+        runtime.counters.get("runtime", "shuffle.encoded_bytes")
+        == expected
+    )
+
+
+def test_meter_bytes_uses_cached_encoding():
+    """--meter-bytes sizes the key side from the cached encoding; the
+    counter is at least keys + 1 byte of pickled value per record."""
+    runtime = MapReduceRuntime(meter_bytes=True)
+    runtime.run(PlainWordCount(), LINES)
+    encoded = runtime.counters.get(
+        "PlainWordCount", "shuffle.encoded_bytes"
+    )
+    total = runtime.counters.get("PlainWordCount", "shuffle.bytes")
+    shuffled = runtime.counters.get("PlainWordCount", "shuffle.records")
+    assert total > encoded  # keys plus pickled values...
+    assert total >= encoded + shuffled  # ...at least one byte each
+
+
+def test_phase_timings_accumulate():
+    runtime = MapReduceRuntime()
+    assert set(runtime.phase_timings) == {
+        "map",
+        "shuffle",
+        "reduce",
+        "spill",
+    }
+    runtime.run(PlainWordCount(), LINES)
+    assert runtime.phase_timings["map"] > 0.0
+    assert runtime.phase_timings["shuffle"] > 0.0
+    assert runtime.phase_timings["reduce"] > 0.0
+    assert runtime.phase_timings["spill"] == 0.0
+    after_first = dict(runtime.phase_timings)
+    runtime.run(PlainWordCount(), LINES)
+    for phase in ("map", "shuffle", "reduce"):
+        assert runtime.phase_timings[phase] > after_first[phase]
+
+
+def test_phase_timings_record_spill_time(tmp_path):
+    runtime = MapReduceRuntime(
+        spill_threshold=0, spill_dir=str(tmp_path)
+    )
+    runtime.run(PlainWordCount(), LINES)
+    assert runtime.phase_timings["spill"] > 0.0
+    # Timing meters never leak into the counter determinism contract.
+    snapshot = runtime.counters.snapshot()
+    for group in snapshot.values():
+        assert not any("seconds" in name for name in group)
+
+
+class KeyPartitioner:
+    """A custom partitioner without a byte-level entry point."""
+
+    def __init__(self):
+        self.keys_seen = []
+
+    def __call__(self, key, num_partitions):
+        self.keys_seen.append(key)
+        return 0
+
+
+def test_custom_partitioner_receives_decoded_keys():
+    """Custom (key, n) partitioners still get the key itself."""
+    partitioner = KeyPartitioner()
+    runtime = MapReduceRuntime(
+        num_reduce_tasks=2, partitioner=partitioner
+    )
+    output = dict(runtime.run(PlainWordCount(), LINES))
+    assert output["the"] == 4
+    assert set(partitioner.keys_seen) == {
+        word for _, line in LINES for word in line.split()
+    }
+
+
+def test_hashpartitioner_subclass_override_is_honored():
+    """Overriding __call__ on a HashPartitioner subclass must not be
+    bypassed by the inherited byte-level entry point."""
+    from repro.mapreduce import HashPartitioner
+
+    class Sticky(HashPartitioner):
+        def __call__(self, key, num_partitions):
+            return 0  # everything to partition 0
+
+    runtime = MapReduceRuntime(
+        num_reduce_tasks=4, partitioner=Sticky()
+    )
+    runtime.run(PlainWordCount(), LINES)
+    groups = runtime.counters.get("PlainWordCount", "reduce.input.groups")
+    baseline = MapReduceRuntime(num_reduce_tasks=4)
+    baseline.run(PlainWordCount(), LINES)
+    # Same distinct keys either way; the point is the output ORDER —
+    # with everything in partition 0, output is globally key-sorted.
+    assert groups == baseline.counters.get(
+        "PlainWordCount", "reduce.input.groups"
+    )
+    output = runtime.run(PlainWordCount(), LINES)
+    assert output == sorted(output, key=lambda kv: canonical_bytes(kv[0]))
+
+
+def test_custom_partitioner_defining_partition_bytes_gets_bytes():
+    """A partitioner class that defines partition_bytes itself is fed
+    the cached canonical encoding."""
+
+    class ByteSticky:
+        def __init__(self):
+            self.bytes_seen = []
+
+        def __call__(self, key, num_partitions):  # pragma: no cover
+            raise AssertionError("byte-level entry point not used")
+
+        def partition_bytes(self, key_bytes, num_partitions):
+            self.bytes_seen.append(key_bytes)
+            return 0
+
+    partitioner = ByteSticky()
+    runtime = MapReduceRuntime(
+        num_reduce_tasks=2, partitioner=partitioner
+    )
+    output = dict(runtime.run(PlainWordCount(), LINES))
+    assert output["the"] == 4
+    assert all(isinstance(b, bytes) for b in partitioner.bytes_seen)
+
+
+class OutOfRangePartitioner:
+    def __call__(self, key, num_partitions):
+        return num_partitions  # off by one
+
+
+def test_custom_partitioner_out_of_range_rejected():
+    from repro.mapreduce import JobValidationError
+
+    runtime = MapReduceRuntime(
+        num_reduce_tasks=2, partitioner=OutOfRangePartitioner()
+    )
+    with pytest.raises(JobValidationError, match="partitioner returned"):
+        runtime.run(PlainWordCount(), LINES)

@@ -76,61 +76,107 @@ class ExplodingReduce(MapReduceJob):
 
 
 # -- ExternalShuffle unit behavior ------------------------------------------
+#
+# The shuffle operates on the runtime's encoded plane: records are
+# (key_bytes, key, value) triples whose first element was computed once
+# at map time.  The unit tests encode explicitly at the boundary.
+
+
+def _encoded(records):
+    return [(canonical_bytes(k), k, v) for k, v in records]
 
 
 def test_external_shuffle_merges_sorted(tmp_path):
     shuffle = ExternalShuffle(2, 3, spill_dir=str(tmp_path))
     records = [("b", 1), ("a", 2), ("c", 3), ("a", 4), ("b", 5), ("a", 6)]
     with shuffle:
-        for key, value in records:
-            shuffle.add(0, key, value)
+        for record in _encoded(records):
+            shuffle.add(0, record)
         merged = shuffle.merged_partition(0)
-        assert merged == sorted(records, key=lambda kv: canonical_bytes(kv[0]))
+        assert merged == sorted(_encoded(records), key=lambda r: r[0])
         assert shuffle.merged_partition(1) == []
         assert shuffle.spilled_records > 0
         assert shuffle.spill_files > 0
         assert shuffle.spilled_bytes > 0
+        assert shuffle.spill_seconds > 0.0
 
 
 def test_external_shuffle_stable_across_thresholds(tmp_path):
     """Equal keys keep arrival order at every threshold (incl. 0)."""
-    records = [("k", i) for i in range(20)] + [("j", i) for i in range(5)]
+    records = _encoded(
+        [("k", i) for i in range(20)] + [("j", i) for i in range(5)]
+    )
     baseline = None
     for threshold in (0, 1, 3, 100):
         shuffle = ExternalShuffle(
             1, threshold, spill_dir=str(tmp_path / str(threshold))
         )
         with shuffle:
-            for key, value in records:
-                shuffle.add(0, key, value)
+            for record in records:
+                shuffle.add(0, record)
             merged = shuffle.merged_partition(0)
         if baseline is None:
             baseline = merged
         assert merged == baseline
 
 
+def test_external_shuffle_streams_lazily(tmp_path):
+    """merged_stream is an iterator over the same merged sequence."""
+    records = _encoded([("b", 1), ("a", 2), ("a", 3), ("c", 4)])
+    shuffle = ExternalShuffle(1, 1, spill_dir=str(tmp_path))
+    with shuffle:
+        for record in records:
+            shuffle.add(0, record)
+        stream = shuffle.merged_stream(0)
+        assert iter(stream) is iter(stream)  # a lazy iterator...
+        assert list(stream) == shuffle.merged_partition(0)  # ...same data
+
+
 def test_external_shuffle_multipass_merge_is_bounded_and_stable(tmp_path):
     """With many runs, prefix batches compact first (multi-pass merge):
     no more than merge_factor+1 files open at once, output unchanged."""
-    records = [(f"k{i % 5}", i) for i in range(120)]
+    records = _encoded([(f"k{i % 5}", i) for i in range(120)])
     baseline_shuffle = ExternalShuffle(
         1, 1000, spill_dir=str(tmp_path / "base")
     )
     with baseline_shuffle:
-        for key, value in records:
-            baseline_shuffle.add(0, key, value)
+        for record in records:
+            baseline_shuffle.add(0, record)
         baseline = baseline_shuffle.merged_partition(0)
     shuffle = ExternalShuffle(
         1, 0, spill_dir=str(tmp_path / "multi"), merge_factor=3
     )
     with shuffle:
-        for key, value in records:
-            shuffle.add(0, key, value)
+        for record in records:
+            shuffle.add(0, record)
         assert shuffle.spill_files > 100  # one run per record...
         merged = shuffle.merged_partition(0)
         # ...compacted down to at most merge_factor run files.
         assert len(shuffle._runs[0]) <= 3
     assert merged == baseline
+
+
+def test_run_codec_raises_on_truncated_frames(tmp_path):
+    """Every truncation point of a spill-run frame is a loud
+    FileSystemError, never a silent partial read."""
+    import io
+
+    from repro.mapreduce import FileSystemError
+    from repro.mapreduce.storage.codec import (
+        read_run_records,
+        write_run_record,
+    )
+
+    buffer = io.BytesIO()
+    record = (canonical_bytes("key"), "key", [1, 2, 3])
+    write_run_record(buffer, record)
+    intact = buffer.getvalue()
+    assert list(read_run_records(io.BytesIO(intact))) == [record]
+    # Cut at every byte boundary inside the frame: each prefix either
+    # reads zero records cleanly (empty) or raises FileSystemError.
+    for cut in range(1, len(intact)):
+        with pytest.raises(FileSystemError, match="truncated spill-run"):
+            list(read_run_records(io.BytesIO(intact[:cut])))
 
 
 def test_external_shuffle_rejects_bad_merge_factor():
@@ -140,8 +186,8 @@ def test_external_shuffle_rejects_bad_merge_factor():
 
 def test_external_shuffle_close_removes_run_files(tmp_path):
     shuffle = ExternalShuffle(1, 0, spill_dir=str(tmp_path))
-    shuffle.add(0, "a", 1)
-    shuffle.add(0, "b", 2)
+    shuffle.add(0, (canonical_bytes("a"), "a", 1))
+    shuffle.add(0, (canonical_bytes("b"), "b", 2))
     assert any(files for _, _, files in os.walk(tmp_path))
     shuffle.close()
     assert not any(files for _, _, files in os.walk(tmp_path))
@@ -151,7 +197,7 @@ def test_external_shuffle_close_removes_run_files(tmp_path):
 def test_external_shuffle_meter(tmp_path):
     shuffle = ExternalShuffle(1, 0, spill_dir=str(tmp_path))
     with shuffle:
-        shuffle.add(0, "a", 1)
+        shuffle.add(0, (canonical_bytes("a"), "a", 1))
         counters = Counters()
         shuffle.meter(counters, "job-x")
         for name in SPILL_COUNTERS:

@@ -48,24 +48,74 @@ def test_mr_join_rejects_nonpositive_sigma():
         mapreduce_similarity_join({}, {}, 0.0)
 
 
-def test_mr_join_prunes_the_index():
-    # One heavy discriminative term per item; high sigma means only the
-    # heavy term must be indexed, so the candidate job's shuffle stays
-    # far below |T|·|terms|.
+def test_mr_join_prunes_hopeless_items():
+    # Items whose suffix bound cannot reach sigma against *any*
+    # consumer have an empty prefix and post nothing at all — the
+    # pruning that survives the partial-score kernel at map time.
     items = {
         f"t{i}": {"shared": 0.1, f"own{i}": 10.0} for i in range(20)
     }
+    hopeless = {f"weak{i}": {"shared": 0.2} for i in range(30)}
+    items.update(hopeless)
     consumers = {f"c{i}": {f"own{i}": 10.0} for i in range(20)}
     runtime = MapReduceRuntime()
     rows = mapreduce_similarity_join(
         items, consumers, sigma=50.0, runtime=runtime
     )
-    assert len(rows) == 20  # each item matches exactly its consumer
+    assert len(rows) == 20  # each strong item matches its consumer
     postings = runtime.counters.get(
         "simjoin-candidates", "map.output.records"
     )
-    # 20 item prefixes (1 term each) + 20 consumer postings
-    assert postings == 40
+    # 20 items x 2 terms + 20 consumer postings; the 30 hopeless items
+    # (max possible dot = 0.2 * 10.0 < sigma... they share no term with
+    # any consumer at all here, bound 0) contribute nothing.
+    assert postings == 60
+
+
+def test_mr_join_verify_ships_no_document_stores():
+    """The verify stage is sum-and-threshold: its only side data is
+    sigma — the corpus never rides the DistributedCache."""
+    from repro.simjoin.mr_join import similarity_join_pipeline
+
+    items = {"t1": {"a": 2.0, "b": 1.0}}
+    consumers = {"c1": {"a": 1.0, "b": 3.0}}
+    pipeline = similarity_join_pipeline(items, consumers, 1.0)
+    verify_stage = pipeline.stages[-1]
+    assert verify_stage.job.name == "simjoin-verify"
+    side = verify_stage.side_data(pipeline.filesystem)
+    assert set(side) == {"sigma"}
+
+
+def test_mr_join_partial_scores_sum_to_exact_dot():
+    """Candidate products summed per pair equal the full dot product,
+    including non-prefix terms."""
+    # With sigma=5.75 and maxw=1.0 the prefix of t1 is a strict subset
+    # of its terms, yet the verified score must cover all shared terms.
+    items = {"t1": {"a": 4.0, "b": 1.5, "c": 0.5}}
+    consumers = {"c1": {"a": 1.0, "b": 1.0, "c": 1.0}}
+    rows = mapreduce_similarity_join(items, consumers, 5.75)
+    assert rows == [("t1", "c1", 6.0)]
+
+
+def test_mr_join_prefix_gate_drops_sub_threshold_pairs():
+    """A pair co-occurring only on non-prefix terms is provably below
+    sigma and never reaches a threshold comparison."""
+    items = {"t1": {"heavy": 10.0, "light": 0.1}}
+    consumers = {
+        "c1": {"heavy": 1.0},  # shares t1's prefix term
+        "c2": {"light": 1.0},  # shares only the suffix term
+    }
+    runtime = MapReduceRuntime()
+    rows = mapreduce_similarity_join(
+        items, consumers, 5.0, runtime=runtime
+    )
+    assert rows == [("t1", "c1", 10.0)]
+    # Both pairs formed verify groups (products exist for each), but
+    # only the prefix-hit pair could possibly pass.
+    assert (
+        runtime.counters.get("simjoin-verify", "reduce.input.groups")
+        == 2
+    )
 
 
 @given(

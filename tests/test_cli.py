@@ -171,6 +171,71 @@ def test_match_accepts_storage_options(corpus_dir, tmp_path, capsys):
     assert os.path.getsize(matching_path) > 0
 
 
+def test_join_profile_reports_phase_timings(corpus_dir, tmp_path, capsys):
+    code = main(
+        [
+            "join",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--method",
+            "mapreduce",
+            "--profile",
+            "--out",
+            str(tmp_path / "edges.tsv"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phase timings:" in out
+    assert "map " in out and "shuffle " in out and "reduce " in out
+    assert "[3 jobs]" in out
+
+
+def test_join_profile_with_spill_reports_spill_time(
+    corpus_dir, tmp_path, capsys
+):
+    code = main(
+        [
+            "join",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--method",
+            "mapreduce",
+            "--spill-threshold",
+            "0",
+            "--profile",
+            "--out",
+            str(tmp_path / "edges.tsv"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phase timings:" in out
+    assert "(spill " in out
+
+
+def test_join_profile_without_cluster_prints_note(
+    corpus_dir, tmp_path, capsys
+):
+    code = main(
+        [
+            "join",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--method",
+            "exact",
+            "--profile",
+            "--out",
+            str(tmp_path / "edges.tsv"),
+        ]
+    )
+    assert code == 0
+    assert "n/a" in capsys.readouterr().out
+
+
 def test_join_rejects_unknown_fs(corpus_dir):
     with pytest.raises(SystemExit):
         main(["join", corpus_dir, "--sigma", "2.0", "--fs", "tape"])
