@@ -13,12 +13,16 @@ jobs::
 
 ``--backend {serial,threads,processes}`` selects the execution backend
 of the simulated cluster for the MapReduce paths; ``--fs
-{memory,disk}`` selects its storage backend (inter-job datasets in RAM
-or as on-disk JSONL), and ``--spill-threshold N`` bounds the shuffle
-buffers — map outputs beyond ``N`` records per reduce partition are
-sorted and spilled to disk runs, then k-way merged at reduce time.
-Results are bit-identical across all three knobs; the spill counters
-report the extra IO.
+{memory,disk}`` selects its storage backend (inter-job datasets and
+parked resident state in RAM or as on-disk JSONL), and
+``--spill-threshold N`` bounds the shuffle buffers — map outputs
+beyond ``N`` records per reduce partition are sorted and spilled to
+disk runs, then k-way merged at reduce time — as well as the resident
+state store's parking point.  ``match --delta/--no-delta`` switches
+the ``*_mr`` algorithms between the delta iteration plane (resident
+node state, only changed records per round) and the paper's
+full-state-per-round formulation.  Results are bit-identical across
+all four knobs; the spill counters report the extra IO.
 
 ``generate`` persists the item/consumer vectors, activity, and quality
 signals as TSV (via :mod:`repro.mapreduce.storage.tsvio`); ``join``
@@ -186,22 +190,24 @@ def _cmd_match(args: argparse.Namespace) -> int:
     runtime = None
     if "_mr" in args.algorithm:
         # Only the MapReduce adaptations take a simulated cluster; the
-        # centralized solvers ignore the backend/storage choices.  The
-        # *_mr drivers stream node records driver-side round to round —
-        # they write no inter-job datasets — so a disk filesystem would
-        # sit unused; --spill-threshold still bounds every round's
-        # shuffle.
-        if args.fs != "memory":
+        # centralized solvers ignore the backend/storage choices.  On
+        # the delta plane (the default) --fs backs the resident state
+        # store, so node records park out-of-core between rounds once
+        # --spill-threshold is exceeded; --spill-threshold also bounds
+        # every round's shuffle on both planes.
+        if args.fs != "memory" and not args.delta:
             print(
-                f"note: --fs {args.fs} has no effect on 'match' (the "
-                "*_mr drivers keep round state driver-side); "
-                "--spill-threshold still applies"
+                f"note: --fs {args.fs} has little effect with "
+                "--no-delta (the full-state drivers keep round state "
+                "driver-side); --spill-threshold still applies"
             )
         runtime = MapReduceRuntime(
             backend=args.backend,
+            storage=args.fs,
             spill_threshold=args.spill_threshold,
         )
         kwargs["runtime"] = runtime
+        kwargs["delta"] = args.delta
     start = time.perf_counter()
     result = solve(graph, args.algorithm, **kwargs)
     elapsed = time.perf_counter() - start
@@ -331,6 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="greedy_mr", choices=sorted(ALGORITHMS)
     )
     match.add_argument("--epsilon", type=float, default=1.0)
+    match.add_argument(
+        "--delta",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the *_mr algorithms on the delta iteration plane "
+        "(resident node state, only changed records per round; the "
+        "default) or, with --no-delta, re-ship the full state every "
+        "round as the paper formulates it — results are bit-identical",
+    )
     _add_cluster_options(match, "*_mr algorithms only")
     match.add_argument("--seed", type=int, default=0)
     match.add_argument("--out")

@@ -54,6 +54,13 @@ from .partitioner import (
 )
 from .pipeline import Pipeline, PipelineStage
 from .runtime import MapReduceRuntime
+from .state import (
+    STATE_SPILL_COUNTERS,
+    Quiet,
+    ResidentStateStore,
+    Retired,
+    strip_volatile_counters,
+)
 from .storage import (
     FILESYSTEM_BACKENDS,
     SPILL_COUNTERS,
@@ -90,8 +97,12 @@ __all__ = [
     "Pipeline",
     "PipelineStage",
     "ProcessExecutor",
+    "Quiet",
+    "ResidentStateStore",
+    "Retired",
     "RoundLimitExceeded",
     "SPILL_COUNTERS",
+    "STATE_SPILL_COUNTERS",
     "SerialExecutor",
     "ThreadExecutor",
     "canonical_bytes",
@@ -101,4 +112,5 @@ __all__ = [
     "shutdown_shared_pools",
     "stable_hash",
     "strip_spill_counters",
+    "strip_volatile_counters",
 ]

@@ -6,15 +6,25 @@ dual updates, and stack pops.  :class:`IterativeDriver` factors out the
 round accounting, the convergence loop, and the safety cap that turns a
 non-terminating bug into a loud :class:`~repro.mapreduce.errors.
 RoundLimitExceeded` instead of a hang.
+
+The driver is also the natural home of the *delta iteration plane*
+(see :mod:`repro.mapreduce.state`): :meth:`IterativeDriver.create_store`
+attaches a per-partition resident state store backed by the runtime's
+pluggable filesystem, :meth:`IterativeDriver.run_stateful` runs one
+resident-state round against it, and :meth:`IterativeDriver.
+quiescent_ratio` reports the fraction of resident records the delta
+rounds never had to touch — the savings the plane exists to harvest.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+from typing import Any, Callable, Generic, List, Mapping, Optional, Tuple, TypeVar
 
 from .counters import Counters
-from .errors import RoundLimitExceeded
+from .errors import DriverError, RoundLimitExceeded
+from .job import KeyValue, MapReduceJob
 from .runtime import MapReduceRuntime
+from .state import ResidentStateStore
 from .storage import FileSystem
 
 __all__ = ["IterativeDriver"]
@@ -47,6 +57,9 @@ class IterativeDriver(Generic[State]):
         self.on_round_end = on_round_end
         self.rounds_completed = 0
         self.jobs_per_round: List[int] = []
+        #: Resident state store of the delta iteration plane, attached
+        #: by :meth:`create_store`; ``None`` for full-state drivers.
+        self.store: Optional[ResidentStateStore] = None
 
     @property
     def counters(self) -> Counters:
@@ -79,6 +92,69 @@ class IterativeDriver(Generic[State]):
     def storage(self) -> str:
         """Canonical name of the runtime's storage backend."""
         return self.runtime.storage
+
+    # -- the delta iteration plane ----------------------------------------
+
+    def create_store(
+        self, records: Optional[List[KeyValue]] = None
+    ) -> ResidentStateStore:
+        """Attach (and optionally seed) a resident state store.
+
+        The store is created through the runtime, so its partitioning
+        matches the shuffle's and it parks out-of-core on the runtime's
+        filesystem past the configured spill threshold.
+        """
+        store = self.runtime.state_store(self.name)
+        if records:
+            store.load(records)
+        self.store = store
+        return store
+
+    def run_stateful(
+        self,
+        job: MapReduceJob,
+        deltas: Optional[List[KeyValue]] = None,
+        scan: bool = False,
+        side_data: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[List[KeyValue], List[KeyValue]]:
+        """One resident-state round against the attached store.
+
+        Thin delegation to :meth:`MapReduceRuntime.run_stateful`; see
+        there for the scan/frontier modes and the delta contract.
+        """
+        if self.store is None:
+            raise DriverError(
+                f"driver {self.name!r} has no resident state store; "
+                "call create_store first"
+            )
+        return self.runtime.run_stateful(
+            job, self.store, deltas=deltas, scan=scan, side_data=side_data
+        )
+
+    def quiescent_ratio(self) -> float:
+        """Fraction of resident records the rounds left untouched.
+
+        Computed from the ``iteration.*`` counters accumulated across
+        every stateful round this driver's runtime has run — 0.0 when
+        nothing stateful ran yet.  This is the savings meter of the
+        delta plane: the full-state path re-ships and re-reduces every
+        record every round, so its ratio is by definition 0.
+        """
+        resident = self.counters.get(
+            "runtime", "iteration.resident_records"
+        )
+        if not resident:
+            return 0.0
+        quiescent = self.counters.get(
+            "runtime", "iteration.quiescent_records"
+        )
+        return quiescent / resident
+
+    def close(self) -> None:
+        """Release the resident state store (parked datasets included)."""
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
     def iterate(self, step: RoundFunction, initial: State) -> State:
         """Run ``step`` until it reports completion and return the state."""

@@ -67,6 +67,65 @@ class MapReduceJob:
         """Transform one intermediate key group into output records."""
         raise NotImplementedError
 
+    # -- stateful hooks (delta iteration plane) ----------------------------
+    #
+    # Jobs run through :meth:`~repro.mapreduce.runtime.MapReduceRuntime.
+    # run_stateful` keep their node records in a
+    # :class:`~repro.mapreduce.state.ResidentStateStore` instead of
+    # shuffling them every round.  Such jobs implement `reduce_state`
+    # plus one of the two map hooks, depending on the execution mode.
+
+    def map_resident(self, key: Any, state: Any) -> Iterable[KeyValue]:
+        """Scan-mode map: emit this round's *messages* for one resident
+        record.
+
+        Unlike :meth:`map`, the record itself is never re-emitted — the
+        reduce side reads it straight from the resident store — so only
+        the lightweight cross-node messages enter the shuffle.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support resident-scan "
+            "rounds (implement map_resident)"
+        )
+
+    def map_delta(self, key: Any, delta: Any) -> Iterable[KeyValue]:
+        """Frontier-mode map: emit messages for one *changed* record.
+
+        ``delta`` is either the record's new state or a
+        :class:`~repro.mapreduce.state.Retired` naming surviving peers
+        to notify of the record's departure.  Quiescent records are
+        never mapped — the job's protocol must make their previously
+        sent messages recoverable on the reduce side (GreedyMR caches
+        them in each node's inbox).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support frontier delta "
+            "rounds (implement map_delta)"
+        )
+
+    def reduce_state(
+        self, key: Any, state: Any, values: List[Any]
+    ) -> Tuple[Any, Iterable[KeyValue]]:
+        """Join one key's messages against its resident state.
+
+        ``state`` is the resident value (``None`` when the key is not
+        resident — e.g. stray messages to a node that already left).
+        Returns ``(new_state, outputs)``:
+
+        * ``new_state`` equal to ``state`` — quiescent, no delta;
+        * a different value — stored, and emitted as a delta;
+        * a :class:`~repro.mapreduce.state.Retired` — the key leaves
+          the store (its ``notify`` peers get the final delta);
+        * ``None`` — no resident state to keep (only meaningful for
+          keys that were not resident, e.g. pass-through output keys).
+
+        ``outputs`` are ordinary job output records.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not a stateful job "
+            "(implement reduce_state)"
+        )
+
     # -- optional hooks ----------------------------------------------------
 
     #: Set to ``True`` in subclasses that implement :meth:`combine`.

@@ -111,6 +111,7 @@ from .errors import JobValidationError
 from .executors import Executor, resolve_executor
 from .job import KeyValue, MapReduceJob
 from .partitioner import HashPartitioner, canonical_bytes, fast_hash_bytes
+from .state import Quiet, ResidentStateStore, Retired
 from .storage import ExternalShuffle, FileSystem, resolve_filesystem
 
 __all__ = ["MapReduceRuntime"]
@@ -123,6 +124,23 @@ EncodedRecord = Tuple[bytes, Any, Any]
 
 #: Sort/group key of the encoded plane: the cached canonical bytes.
 _record_key_bytes = itemgetter(0)
+
+
+def _custom_partition_bytes(partitioner: Any):
+    """The byte-level entry point of a custom partitioner, or ``None``.
+
+    Only honored when the partitioner's own class *defines*
+    ``partition_bytes`` — merely inheriting :class:`HashPartitioner`'s
+    must not bypass an overridden ``__call__``.  Shared by the shuffle
+    and the resident state store so both route identically.
+    """
+    if any(
+        "partition_bytes" in cls.__dict__
+        for cls in type(partitioner).__mro__
+        if cls is not HashPartitioner
+    ):
+        return partitioner.partition_bytes
+    return None
 
 
 class MapReduceRuntime:
@@ -220,6 +238,7 @@ class MapReduceRuntime:
         self.spill_dir = spill_dir
         self.jobs_executed = 0
         self.job_log: List[str] = []
+        self._state_store_sequence = 0
         #: Accumulated wall-clock seconds per phase across every job
         #: this runtime has run.  A diagnostic meter (``repro ...
         #: --profile``); never part of the counter determinism contract.
@@ -256,20 +275,9 @@ class MapReduceRuntime:
         """
         job.configure(side_data)
         splits = self._split_input(records)
-        spiller: Optional[ExternalShuffle] = None
-        if self.spill_threshold is not None:
-            spiller = ExternalShuffle(
-                self.num_reduce_tasks,
-                self.spill_threshold,
-                spill_dir=self.spill_dir,
-            )
+        spiller = self._make_spiller()
         try:
-            started = time.perf_counter()
-            intermediate = self._run_map_phase(job, splits)
-            self.phase_timings["map"] += time.perf_counter() - started
-            started = time.perf_counter()
-            partitions = self._shuffle(job, intermediate, spiller)
-            self.phase_timings["shuffle"] += time.perf_counter() - started
+            partitions = self._map_and_shuffle(job, splits, spiller)
             started = time.perf_counter()
             # The external shuffle hands each partition over already
             # merge-sorted, so the reduce tasks skip their sort.
@@ -278,13 +286,246 @@ class MapReduceRuntime:
             )
             self.phase_timings["reduce"] += time.perf_counter() - started
         finally:
-            if spiller is not None:
-                self.phase_timings["spill"] += spiller.spill_seconds
-                spiller.close()
+            self._close_spiller(spiller)
+        self._finish_job(job)
+        return output
+
+    # -- the delta iteration plane ----------------------------------------
+
+    def state_store(self, name: str) -> ResidentStateStore:
+        """A resident state store aligned with this runtime's shuffle.
+
+        Partition count, filesystem, spill threshold, and — crucially —
+        the partition routing all follow the runtime's own
+        configuration, so the store's partition ``i`` holds exactly the
+        keys reduce partition ``i`` can address (a custom shuffle
+        partitioner is honored record for record) and parks out-of-core
+        on the same ``--fs`` backend the shuffle spills to.
+        """
+        self._state_store_sequence += 1
+        return ResidentStateStore(
+            name=f"{name}-{self._state_store_sequence:03d}",
+            num_partitions=self.num_reduce_tasks,
+            filesystem=self.filesystem,
+            spill_threshold=self.spill_threshold,
+            counters=self.counters,
+            router=self._partition_router(),
+        )
+
+    def _partition_router(self):
+        """A ``(key_bytes, key, n) -> index`` mirror of the shuffle's
+        routing, or ``None`` for the fully inlined default."""
+        if type(self.partitioner) is HashPartitioner:
+            return None
+        partition_bytes = _custom_partition_bytes(self.partitioner)
+        if partition_bytes is not None:
+            return lambda key_bytes, key, n: partition_bytes(
+                key_bytes, n
+            )
+        partitioner = self.partitioner
+
+        def route(key_bytes: bytes, key: Any, n: int) -> int:
+            index = partitioner(key, n)
+            if not 0 <= index < n:
+                raise JobValidationError(
+                    f"partitioner returned {index} for {n} partitions"
+                )
+            return index
+
+        return route
+
+    def run_stateful(
+        self,
+        job: MapReduceJob,
+        store: ResidentStateStore,
+        deltas: Optional[List[KeyValue]] = None,
+        scan: bool = False,
+        side_data: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[List[KeyValue], List[KeyValue]]:
+        """Run one *resident-state* round and return ``(outputs, deltas)``.
+
+        The stateful variant of :meth:`run`: node records stay in
+        ``store`` (partitioned by the same hash of the canonical key
+        bytes the shuffle uses) instead of flowing through the job, and
+        only the job's lightweight messages are shuffled.  On the
+        reduce side each task joins its message groups against its
+        state partition by cached key bytes and reports only *changed*
+        records back; the runtime applies them to the store and returns
+        them as the round's delta stream — an empty stream means the
+        iteration has converged.
+
+        Two modes:
+
+        * ``scan=True`` — *resident scan*: the map phase iterates every
+          resident record (``job.map_resident``), and the reduce visits
+          the byte-sorted union of resident keys and message groups, so
+          every record re-evaluates exactly as it would on the
+          full-state path — minus the state records in the shuffle.
+        * ``scan=False`` — *frontier*: the map phase covers only
+          ``deltas`` (``job.map_delta``) — last round's changed records
+          plus :class:`~repro.mapreduce.state.Retired` notices — and
+          the reduce visits only keys that received messages.  The
+          job's protocol must guarantee quiescent keys cannot change.
+
+        Rounds meter ``iteration.resident_records`` (records resident
+        at round start), ``iteration.delta_records`` (changed records
+        emitted), and ``iteration.quiescent_records`` (resident records
+        untouched by the round) into the job's counter group and the
+        global ``runtime`` group.
+        """
+        if store.num_partitions != self.num_reduce_tasks:
+            raise JobValidationError(
+                f"state store has {store.num_partitions} partitions "
+                f"but the runtime runs {self.num_reduce_tasks} reduce "
+                "tasks; create stores via MapReduceRuntime.state_store"
+            )
+        job.configure(side_data)
+        records: Iterable[KeyValue]
+        records = store.records() if scan else (deltas or [])
+        splits = self._split_input(records)
+        resident_before = len(store)
+        spiller = self._make_spiller()
+        try:
+            partitions = self._map_and_shuffle(
+                job, splits, spiller, scan=scan
+            )
+            started = time.perf_counter()
+            # Frontier rounds touch only the partitions that received
+            # messages: a message-less partition has no groups to
+            # visit, so its state partition is never loaded (a parked
+            # one stays parked on disk) and no task is dispatched.
+            # Scan rounds dispatch every partition; on the spill path
+            # the spiller's routing counts stand in for the lazy
+            # partition streams, which cannot be emptiness-tested.
+            # Which partitions carry messages is decided by the
+            # deterministic partitioner, so the skip is identical
+            # across backends, filesystems, and spill thresholds.
+            def has_messages(index: int) -> bool:
+                if spiller is not None:
+                    return spiller.partition_records[index] > 0
+                return bool(partitions[index])
+
+            tasks = [
+                (
+                    job,
+                    partitions[index],
+                    store.partition(index),
+                    spiller is not None,
+                    scan,
+                )
+                for index in range(self.num_reduce_tasks)
+                if scan or has_messages(index)
+            ]
+            results = self.executor.run_tasks(
+                _execute_stateful_reduce_task, tasks
+            )
+            self.phase_timings["reduce"] += time.perf_counter() - started
+        finally:
+            self._close_spiller(spiller)
+        output: List[KeyValue] = []
+        updates: List[Tuple[bytes, Any, Any]] = []
+        for task_output, task_updates, task_counters in results:
+            self.counters.merge(task_counters)
+            output.extend(task_output)
+            updates.extend(task_updates)
+        next_deltas, changed = self._apply_updates(store, updates)
+        store.maybe_park()
+        group = job.name
+        for target in (group, "runtime"):
+            self.counters.increment(
+                target, "iteration.resident_records", resident_before
+            )
+            self.counters.increment(
+                target, "iteration.delta_records", changed
+            )
+            self.counters.increment(
+                target,
+                "iteration.quiescent_records",
+                max(0, resident_before - changed),
+            )
+        self._finish_job(job)
+        return output, next_deltas
+
+    # -- shared job scaffolding --------------------------------------------
+    #
+    # run() and run_stateful() share the front half (timed map +
+    # shuffle through an optional external spiller) and the tail
+    # (job accounting); keeping them here keeps the two paths'
+    # metering identical by construction.
+
+    def _make_spiller(self) -> Optional[ExternalShuffle]:
+        if self.spill_threshold is None:
+            return None
+        return ExternalShuffle(
+            self.num_reduce_tasks,
+            self.spill_threshold,
+            spill_dir=self.spill_dir,
+        )
+
+    def _close_spiller(self, spiller: Optional[ExternalShuffle]) -> None:
+        if spiller is not None:
+            self.phase_timings["spill"] += spiller.spill_seconds
+            spiller.close()
+
+    def _map_and_shuffle(
+        self,
+        job: MapReduceJob,
+        splits: List[List[KeyValue]],
+        spiller: Optional[ExternalShuffle],
+        scan: Optional[bool] = None,
+    ) -> List[Any]:
+        """The timed map phase followed by the timed shuffle."""
+        started = time.perf_counter()
+        intermediate = self._run_map_phase(job, splits, scan=scan)
+        self.phase_timings["map"] += time.perf_counter() - started
+        started = time.perf_counter()
+        partitions = self._shuffle(job, intermediate, spiller)
+        self.phase_timings["shuffle"] += time.perf_counter() - started
+        return partitions
+
+    def _finish_job(self, job: MapReduceJob) -> None:
         self.jobs_executed += 1
         self.job_log.append(job.name)
         self.counters.increment("runtime", "jobs")
-        return output
+
+    @staticmethod
+    def _apply_updates(
+        store: ResidentStateStore,
+        updates: List[Tuple[bytes, Any, Any]],
+    ) -> Tuple[List[KeyValue], int]:
+        """Apply one round's state updates; return ``(deltas, changed)``.
+
+        Changed records become ``(key, new_state)`` deltas in reduce
+        order.  :class:`Quiet` updates are stored without becoming
+        deltas (and without counting as changed).  :class:`Retired`
+        records are deleted; their ``notify`` lists are pruned against
+        the *post-round* store (a peer that left in the same round
+        needs no notice) and re-emitted only when a surviving peer
+        remains — this pruning is what keeps the delta path's round
+        count identical to the full-state path's.
+        """
+        retirements: List[Tuple[Any, Retired]] = []
+        next_deltas: List[KeyValue] = []
+        changed = 0
+        for key_bytes, key, new_state in updates:
+            if isinstance(new_state, Retired):
+                store.discard(key_bytes, key)
+                changed += 1
+                if new_state.notify:
+                    retirements.append((key, new_state))
+            elif isinstance(new_state, Quiet):
+                store.put(key_bytes, key, new_state.state)
+            else:
+                store.put(key_bytes, key, new_state)
+                changed += 1
+                next_deltas.append((key, new_state))
+        for key, retired in retirements:
+            survivors = tuple(
+                peer for peer in retired.notify if store.contains(peer)
+            )
+            if survivors:
+                next_deltas.append((key, Retired(survivors)))
+        return next_deltas, changed
 
     # -- phases --------------------------------------------------------------
 
@@ -305,13 +546,20 @@ class MapReduceRuntime:
         return splits
 
     def _run_map_phase(
-        self, job: MapReduceJob, splits: List[List[KeyValue]]
+        self,
+        job: MapReduceJob,
+        splits: List[List[KeyValue]],
+        scan: Optional[bool] = None,
     ) -> List[List[EncodedRecord]]:
-        """Dispatch one map task per split through the executor."""
+        """Dispatch one map task per split through the executor.
+
+        ``scan=None`` runs the plain ``job.map``; ``True``/``False``
+        select the stateful plane's ``map_resident``/``map_delta``.
+        """
         results = self.executor.run_tasks(
             _execute_map_task,
             [
-                (job, split, self.speculative_execution)
+                (job, split, self.speculative_execution, scan)
                 for split in splits
             ],
         )
@@ -357,12 +605,8 @@ class MapReduceRuntime:
         # overridden __call__ — and otherwise receives the key itself.
         default_partitioner = type(self.partitioner) is HashPartitioner
         partition_bytes = None
-        if not default_partitioner and any(
-            "partition_bytes" in cls.__dict__
-            for cls in type(self.partitioner).__mro__
-            if cls is not HashPartitioner
-        ):
-            partition_bytes = self.partitioner.partition_bytes
+        if not default_partitioner:
+            partition_bytes = _custom_partition_bytes(self.partitioner)
         shuffled = 0
         encoded_bytes = 0
         shuffled_bytes = 0
@@ -464,14 +708,22 @@ class MapReduceRuntime:
 
 
 def _execute_map_task(
-    job: MapReduceJob, split: List[KeyValue], speculative: bool
+    job: MapReduceJob,
+    split: List[KeyValue],
+    speculative: bool,
+    scan: Optional[bool] = None,
 ) -> Tuple[List[EncodedRecord], Counters]:
-    """One map task: map every record, verify retries, combine, meter."""
+    """One map task: map every record, verify retries, combine, meter.
+
+    ``scan`` selects the map function: ``None`` for the plain
+    ``job.map``, ``True`` for the stateful plane's ``map_resident``,
+    ``False`` for its ``map_delta``.
+    """
     counters = Counters()
     group = job.name
-    emitted = _attempt_map(job, split, group, counters)
+    emitted = _attempt_map(job, split, group, counters, scan)
     if speculative:
-        retry = _attempt_map(job, split, group, None)
+        retry = _attempt_map(job, split, group, None, scan)
         if retry != emitted:
             raise JobValidationError(
                 f"{job.name}.map is non-deterministic: a "
@@ -490,6 +742,7 @@ def _attempt_map(
     split: List[KeyValue],
     group: str,
     counters: Optional[Counters],
+    scan: Optional[bool] = None,
 ) -> List[EncodedRecord]:
     """Run one attempt of a map task (``counters=None`` for retries).
 
@@ -497,11 +750,15 @@ def _attempt_map(
     emitted pair is validated and its key canonically encoded — the one
     and only ``canonical_bytes`` call that record will ever see.
     """
+    if scan is None:
+        mapper = job.map
+    else:
+        mapper = job.map_resident if scan else job.map_delta
     emitted: List[EncodedRecord] = []
     if counters is not None and split:
         counters.increment(group, "map.input.records", len(split))
     for key, value in split:
-        produced = job.map(key, value)
+        produced = mapper(key, value)
         if produced is None:
             raise JobValidationError(
                 f"{job.name}.map returned None; return an iterable"
@@ -569,6 +826,103 @@ def _execute_reduce_task(
     return output, counters
 
 
+def _execute_stateful_reduce_task(
+    job: MapReduceJob,
+    partition: Iterable[EncodedRecord],
+    state_partition: Dict[bytes, Tuple[Any, Any]],
+    presorted: bool,
+    scan: bool,
+) -> Tuple[List[KeyValue], List[Tuple[bytes, Any, Any]], Counters]:
+    """One resident-state reduce task: join messages against state.
+
+    Visits either the byte-sorted union of resident keys and message
+    groups (``scan=True``) or the message groups alone (frontier mode),
+    hands each key's resident state and message values to
+    ``job.reduce_state``, and returns ``(outputs, updates, counters)``
+    where ``updates`` holds only the *changed* records — ``(key_bytes,
+    key, new_state)`` with :class:`Retired` marking departures.  The
+    state partition is read-only here; the runtime applies the updates
+    driver-side, after every task of the round has finished.
+    """
+    counters = Counters()
+    group = job.name
+    if not presorted:
+        partition = sorted(partition, key=_record_key_bytes)
+    groups = _group_encoded_bytes(partition)
+    if scan:
+        visits = _scan_join(groups, state_partition)
+    else:
+        visits = (
+            (key_bytes, key, state_partition.get(key_bytes), values)
+            for key_bytes, key, values in groups
+        )
+    output: List[KeyValue] = []
+    updates: List[Tuple[bytes, Any, Any]] = []
+    visited = 0
+    for key_bytes, key, entry, values in visits:
+        visited += 1
+        state = entry[1] if entry is not None else None
+        new_state, produced = job.reduce_state(key, state, values)
+        if produced is None:
+            raise JobValidationError(
+                f"{job.name}.reduce_state returned no output "
+                "iterable; return (new_state, outputs)"
+            )
+        for pair in produced:
+            if type(pair) is not tuple or len(pair) != 2:
+                _validated_pair(job, pair)
+            output.append(pair)
+        if isinstance(new_state, Retired):
+            if entry is not None:
+                updates.append((key_bytes, key, new_state))
+        elif isinstance(new_state, Quiet):
+            if entry is None or new_state.state != entry[1]:
+                updates.append((key_bytes, key, new_state))
+        elif entry is None:
+            if new_state is not None:
+                updates.append((key_bytes, key, new_state))
+        elif new_state is None:
+            updates.append((key_bytes, key, Retired()))
+        elif new_state != entry[1]:
+            updates.append((key_bytes, key, new_state))
+    if visited:
+        counters.increment(group, "reduce.input.groups", visited)
+    counters.increment(group, "reduce.output.records", len(output))
+    return output, updates, counters
+
+
+def _scan_join(
+    groups: Iterator[Tuple[bytes, Any, List[Any]]],
+    state_partition: Dict[bytes, Tuple[Any, Any]],
+) -> Iterator[Tuple[bytes, Any, Optional[Tuple[Any, Any]], List[Any]]]:
+    """Merge-join message groups with a state partition by key bytes.
+
+    Both sides arrive sorted by the canonical key encoding (the groups
+    by the shuffle sort, the partition by an explicit sort here), so
+    the join is a linear two-pointer merge — resident keys without
+    messages are visited with an empty value list, message keys without
+    state with ``entry=None``, exactly the union the full-state path's
+    reduce would see.
+    """
+    resident = sorted(state_partition.items())
+    index = 0
+    total = len(resident)
+    for key_bytes, key, values in groups:
+        while index < total and resident[index][0] < key_bytes:
+            entry = resident[index][1]
+            yield resident[index][0], entry[0], entry, []
+            index += 1
+        if index < total and resident[index][0] == key_bytes:
+            yield key_bytes, key, resident[index][1], values
+            index += 1
+        else:
+            yield key_bytes, key, None, values
+    while index < total:
+        entry = resident[index][1]
+        yield resident[index][0], entry[0], entry, []
+        index += 1
+
+
 def _validated_pair(job: MapReduceJob, pair: Any) -> KeyValue:
     if not isinstance(pair, tuple) or len(pair) != 2:
         raise JobValidationError(
@@ -587,6 +941,18 @@ def _group_encoded(
     the sort order does.  The stream may be lazy (the external
     shuffle's merged runs); it is consumed once, in order.
     """
+    for _, key, values in _group_encoded_bytes(records):
+        yield key, values
+
+
+def _group_encoded_bytes(
+    records: Iterable[EncodedRecord],
+) -> Iterator[Tuple[bytes, Any, List[Any]]]:
+    """Like :func:`_group_encoded` but keeps each group's key bytes.
+
+    The stateful reduce joins groups against the resident state store
+    by those cached bytes, so they must survive the grouping.
+    """
     run_key: Any = None
     run_bytes: Optional[bytes] = None
     run_values: List[Any] = []
@@ -595,7 +961,7 @@ def _group_encoded(
             run_values.append(value)
         else:
             if run_bytes is not None:
-                yield run_key, run_values
+                yield run_bytes, run_key, run_values
             run_key, run_bytes, run_values = key, key_bytes, [value]
     if run_bytes is not None:
-        yield run_key, run_values
+        yield run_bytes, run_key, run_values

@@ -1,0 +1,323 @@
+"""The resident state store of the delta iteration plane.
+
+Every algorithm in the paper is iterative, and until this layer existed
+each round re-shipped the *entire* residual graph through
+map/shuffle/reduce — node records were emitted as ``("self", state)``
+messages, canonically encoded, partitioned, sorted, and re-emitted from
+the reduce, every single round, even though most nodes are quiescent
+after the first few iterations ("Taming the zoo" calls this
+full-state-per-iteration pattern the dominant cost of iterative
+algorithms on Hadoop).
+
+A :class:`ResidentStateStore` keeps one ``key -> state`` record per
+node *resident on the reduce side* instead:
+
+* records are partitioned by the **same** hash of the canonical key
+  bytes the shuffle uses (:meth:`~repro.mapreduce.partitioner.
+  HashPartitioner.partition_bytes`), so a reduce task's state partition
+  is exactly the set of keys its shuffle partition can address — the
+  join is local and compares cached key bytes, never re-encoding;
+* between rounds the store can *park* its partitions on the runtime's
+  pluggable :class:`~repro.mapreduce.storage.FileSystem` (the same
+  ``--fs`` knob that backs inter-job datasets), so resident state
+  spills out-of-core exactly like the external shuffle does;
+* each round, the reduce returns only *changed* records — the
+  **deltas** — which the runtime applies to the store and hands back as
+  the next round's delta stream; convergence is simply "the delta
+  stream is empty".
+
+See :meth:`repro.mapreduce.runtime.MapReduceRuntime.run_stateful` for
+the two execution modes (resident *scan* rounds and *frontier* delta
+rounds) and the job-side hooks.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from .counters import Counters
+from .errors import JobValidationError
+from .job import KeyValue
+from .partitioner import HashPartitioner, canonical_bytes
+from .storage import FileSystem, InMemoryFileSystem, strip_spill_counters
+
+__all__ = [
+    "Quiet",
+    "ResidentStateStore",
+    "Retired",
+    "STATE_SPILL_COUNTERS",
+    "strip_volatile_counters",
+]
+
+#: Counter names metered by the resident state store when it parks
+#: partitions out-of-core.  Like the external shuffle's spill counters,
+#: these are the only counters allowed to differ between runs at
+#: different spill thresholds.
+STATE_SPILL_COUNTERS = (
+    "state.spilled_records",
+    "state.spill_files",
+    "state.spilled_bytes",
+)
+
+
+def strip_volatile_counters(snapshot: dict) -> dict:
+    """Drop shuffle-spill *and* state-spill counters from a snapshot.
+
+    The cross-cell equivalence contract of the matching test matrix:
+    for a fixed delta mode, counter totals are bit-identical across
+    executors, filesystems, and spill thresholds once the
+    threshold-dependent spill counters are stripped.
+    """
+    return strip_spill_counters(snapshot, extra=STATE_SPILL_COUNTERS)
+
+
+@dataclass(frozen=True)
+class Quiet:
+    """A state update that must be stored but is *not* a delta.
+
+    Returned from ``reduce_state`` when a record's bookkeeping changed
+    without changing anything its peers can observe — GreedyMR's inbox
+    is the canonical case: a node must remember the proposals it
+    received, but since its own outgoing messages are a function of its
+    capacity and adjacency alone, an inbox-only change obliges it to
+    nothing next round.  The runtime stores ``state`` silently: no
+    delta is emitted, the record counts as quiescent, and a round whose
+    only updates are quiet ones can end the iteration.
+    """
+
+    state: Any
+
+
+@dataclass(frozen=True)
+class Retired:
+    """The final delta of a record leaving the resident store.
+
+    Returned from :meth:`~repro.mapreduce.job.MapReduceJob.
+    reduce_state` to delete the key.  ``notify`` optionally names peer
+    keys that must observe the departure: the runtime prunes peers that
+    are no longer resident themselves and, if any survive, re-emits
+    ``(key, Retired(notify))`` into the next round's delta stream so
+    the job's ``map_delta`` can send death notices.  (Pruning is what
+    keeps round counts identical to the full-state path: a round whose
+    only pending work is notifying already-dead peers never runs.)
+    """
+
+    notify: Tuple[str, ...] = ()
+
+
+#: One resident entry: the original key and its current state value.
+StateEntry = Tuple[Any, Any]
+
+
+class ResidentStateStore:
+    """Per-partition resident state for delta-driven iterative jobs.
+
+    Parameters
+    ----------
+    name:
+        Namespace for parked datasets (``/state/<name>/part-NNNNN``)
+        and the counter group for spill metering.
+    num_partitions:
+        Must equal the owning runtime's ``num_reduce_tasks`` — the
+        whole point is that partition ``i`` of the store joins against
+        shuffle partition ``i`` without data movement.
+    filesystem:
+        Where partitions park when the store exceeds
+        ``spill_threshold`` records; defaults to a private in-memory
+        filesystem.  States are pickled into ``bytes`` payloads, so any
+        picklable state value survives the JSONL disk codec.
+    spill_threshold:
+        Total resident records above which :meth:`maybe_park` offloads
+        every partition to the filesystem between rounds.  ``None``
+        (default) keeps the store in memory.
+    counters:
+        Optional shared :class:`Counters` for the spill metering
+        (:data:`STATE_SPILL_COUNTERS`).
+    router:
+        Optional ``(key_bytes, key, num_partitions) -> index`` override
+        for runtimes with a custom shuffle partitioner — the store must
+        agree with the shuffle record for record, or the reduce-side
+        join silently misses (``MapReduceRuntime.state_store`` installs
+        the right router automatically).  Default: the shuffle's own
+        :meth:`~repro.mapreduce.partitioner.HashPartitioner.
+        partition_bytes`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_partitions: int,
+        filesystem: Optional[FileSystem] = None,
+        spill_threshold: Optional[int] = None,
+        counters: Optional[Counters] = None,
+        router: Optional[Callable[[bytes, Any, int], int]] = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise JobValidationError(
+                "state store needs at least one partition"
+            )
+        self.name = name
+        self.num_partitions = num_partitions
+        self.filesystem = filesystem or InMemoryFileSystem()
+        self.spill_threshold = spill_threshold
+        self.counters = counters
+        self._router = router
+        self._partitions: List[Optional[Dict[bytes, StateEntry]]] = [
+            {} for _ in range(num_partitions)
+        ]
+        #: Resident key bytes per partition, kept in memory even while
+        #: the values are parked — membership tests never touch disk.
+        self._keys: List[Set[bytes]] = [
+            set() for _ in range(num_partitions)
+        ]
+
+    # -- addressing --------------------------------------------------------
+
+    def _path(self, index: int) -> str:
+        return f"/state/{self.name}/part-{index:05d}"
+
+    def partition_of(self, key_bytes: bytes, key: Any) -> int:
+        """The partition owning ``key`` (same routing as the shuffle)."""
+        if self._router is not None:
+            return self._router(key_bytes, key, self.num_partitions)
+        return HashPartitioner.partition_bytes(
+            key_bytes, self.num_partitions
+        )
+
+    # -- loading and access ------------------------------------------------
+
+    def load(self, records: Any) -> int:
+        """Bulk-insert initial ``(key, value)`` records; returns count."""
+        count = 0
+        for key, value in records:
+            key_bytes = canonical_bytes(key)
+            index = self.partition_of(key_bytes, key)
+            self.partition(index)[key_bytes] = (key, value)
+            self._keys[index].add(key_bytes)
+            count += 1
+        return count
+
+    def partition(self, index: int) -> Dict[bytes, StateEntry]:
+        """Partition ``index`` as a ``key_bytes -> (key, state)`` dict.
+
+        A parked partition is read back from the filesystem (and stays
+        in memory until the next :meth:`maybe_park`).  Reduce tasks
+        receive this dict read-only; all mutation goes through
+        :meth:`put` / :meth:`discard`.
+        """
+        loaded = self._partitions[index]
+        if loaded is None:
+            path = self._path(index)
+            loaded = {}
+            if self.filesystem.exists(path):
+                for key_bytes, payload in self.filesystem.read(path):
+                    loaded[key_bytes] = pickle.loads(payload)
+            self._partitions[index] = loaded
+        return loaded
+
+    def put(self, key_bytes: bytes, key: Any, value: Any) -> None:
+        """Insert or replace the state for one key."""
+        index = self.partition_of(key_bytes, key)
+        self.partition(index)[key_bytes] = (key, value)
+        self._keys[index].add(key_bytes)
+
+    def discard(self, key_bytes: bytes, key: Any) -> None:
+        """Remove one key (no-op when absent)."""
+        index = self.partition_of(key_bytes, key)
+        self.partition(index).pop(key_bytes, None)
+        self._keys[index].discard(key_bytes)
+
+    def contains(self, key: Any) -> bool:
+        """Whether ``key`` is resident (checked against the in-memory
+        key index — never loads a parked partition)."""
+        key_bytes = canonical_bytes(key)
+        return key_bytes in self._keys[self.partition_of(key_bytes, key)]
+
+    def __contains__(self, key: Any) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return sum(len(keys) for keys in self._keys)
+
+    def records(self) -> Iterator[KeyValue]:
+        """Every resident ``(key, state)`` in deterministic order.
+
+        Partition-major, canonical-byte-sorted within each partition —
+        the same order the reduce side visits keys, so scan-mode map
+        splits are reproducible across runs and backends.
+        """
+        for index in range(self.num_partitions):
+            part = self.partition(index)
+            for key_bytes in sorted(part):
+                yield part[key_bytes]
+
+    # -- out-of-core parking -----------------------------------------------
+
+    def maybe_park(self) -> None:
+        """Park every partition on the filesystem if over threshold.
+
+        Called by the runtime after each stateful round; bounds the
+        *between-round* memory footprint (during a round the active
+        partitions are resident, mirroring the external shuffle's
+        correctness-first semantics).
+        """
+        if self.spill_threshold is None:
+            return
+        if len(self) <= self.spill_threshold:
+            return
+        self.park()
+
+    def park(self) -> None:
+        """Unconditionally write in-memory partitions out and drop them."""
+        spilled_records = 0
+        spill_files = 0
+        spilled_bytes = 0
+        for index in range(self.num_partitions):
+            part = self._partitions[index]
+            if part is None:
+                continue  # already parked and not re-loaded
+            path = self._path(index)
+            if not part:
+                if self.filesystem.exists(path):
+                    self.filesystem.delete(path)
+                self._partitions[index] = {}
+                continue
+            rows = [
+                (key_bytes, pickle.dumps(entry, pickle.HIGHEST_PROTOCOL))
+                for key_bytes, entry in sorted(part.items())
+            ]
+            self.filesystem.write(path, rows, overwrite=True)
+            spilled_records += len(rows)
+            spill_files += 1
+            spilled_bytes += self.filesystem.du(path).bytes
+            self._partitions[index] = None
+        if self.counters is not None and spill_files:
+            for name, value in zip(
+                STATE_SPILL_COUNTERS,
+                (spilled_records, spill_files, spilled_bytes),
+            ):
+                self.counters.increment(self.name, name, value)
+                self.counters.increment("runtime", name, value)
+
+    def close(self) -> None:
+        """Drop all state and delete any parked datasets."""
+        for index in range(self.num_partitions):
+            self._partitions[index] = {}
+            self._keys[index].clear()
+            path = self._path(index)
+            if self.filesystem.exists(path):
+                self.filesystem.delete(path)
+
+    def __enter__(self) -> "ResidentStateStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResidentStateStore(name={self.name!r}, "
+            f"partitions={self.num_partitions}, records={len(self)})"
+        )

@@ -79,19 +79,22 @@ SPILL_COUNTERS = ("spilled_records", "spill_files", "spilled_bytes")
 _sort_key = itemgetter(0)
 
 
-def strip_spill_counters(snapshot: dict) -> dict:
+def strip_spill_counters(snapshot: dict, extra: tuple = ()) -> dict:
     """Drop spill counters from a ``Counters.snapshot()`` dict.
 
     Used by tests asserting the cross-threshold equivalence contract:
     ``strip_spill_counters(a) == strip_spill_counters(b)`` for any two
-    runs of the same job at different spill settings.
+    runs of the same job at different spill settings.  ``extra`` names
+    further threshold-dependent counters to drop (the resident state
+    store's ``strip_volatile_counters`` adds its parking counters).
     """
+    volatile = set(SPILL_COUNTERS) | set(extra)
     cleaned = {}
     for group, names in snapshot.items():
         kept = {
             name: value
             for name, value in names.items()
-            if name not in SPILL_COUNTERS
+            if name not in volatile
         }
         if kept:
             cleaned[group] = kept
@@ -150,6 +153,10 @@ class ExternalShuffle:
         ]
         self._runs: List[List[str]] = [[] for _ in range(num_partitions)]
         self._merge_sequence = 0
+        #: Records routed to each partition so far — lets callers test
+        #: a partition for emptiness without consuming its (lazy,
+        #: possibly disk-backed) merged stream.
+        self.partition_records: List[int] = [0] * num_partitions
         self.spilled_records = 0
         self.spill_files = 0
         self.spilled_bytes = 0
@@ -159,6 +166,7 @@ class ExternalShuffle:
 
     def add(self, partition: int, record: EncodedRecord) -> None:
         """Route one encoded record to its partition buffer."""
+        self.partition_records[partition] += 1
         buffer = self._buffers[partition]
         buffer.append(record)
         if len(buffer) > self.spill_threshold:

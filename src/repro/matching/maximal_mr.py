@@ -19,6 +19,21 @@ Edge states of the paper map onto this implementation as follows:
 Randomness is per-node and derived from ``stable_hash((seed, round,
 stage, node))``, so runs are reproducible and independent of task
 placement — exactly what a deterministic-seeded Hadoop job would do.
+
+Resident-state rounds (``delta=True``)
+--------------------------------------
+
+On the delta iteration plane (:meth:`~repro.mapreduce.runtime.
+MapReduceRuntime.run_stateful`, scan mode) the node records stay in a
+partition-aligned resident store and each stage's map emits only the
+*cross* view — ``(neighbor, ("edge", node, view))`` — instead of
+posting every view to both endpoints plus a capacity self-message.
+The reduce recomputes the node's own local views from resident state
+(the per-node RNG makes that free of coordination) and merges them
+with the arrived neighbor views, halving the shuffled records per
+stage while producing bit-identical matchings, round counts, and job
+counts (the state-unification rules are symmetric, so merge order
+cannot matter).  StackMR drives this path for its inner subroutine.
 """
 
 from __future__ import annotations
@@ -32,9 +47,11 @@ from ..mapreduce import (
     KeyValue,
     MapReduceJob,
     MapReduceRuntime,
+    Retired,
     RoundLimitExceeded,
     stable_hash,
 )
+from ..mapreduce.state import ResidentStateStore
 from .maximal import choose_edges
 
 __all__ = ["MMEdge", "MMNode", "mm_records_from_adjacency", "mr_maximal_b_matching"]
@@ -166,6 +183,47 @@ class _StageJob(MapReduceJob):
             adj[neighbor] = self.merge(pair[0], pair[1])
         if capacity > 0 and adj:
             yield node, MMNode(b=capacity, adj=adj)
+
+    # -- the resident-state (scan-mode) variant ----------------------------
+
+    def map_resident(
+        self, node: str, state: MMNode
+    ) -> Iterable[KeyValue]:
+        """Emit only the cross views; the self copy stays resident."""
+        rng = _node_rng(self.seed, self.round_index, self.stage, node)
+        views = self.local_views(node, state, rng)
+        for neighbor, view in views.items():
+            if not self.keep_view(view):
+                continue
+            yield neighbor, ("edge", node, view)
+        yield from self.extra_output(node, state, views)
+
+    def reduce_state(self, node, state: Optional[MMNode], values: List):
+        if isinstance(node, tuple) and node and node[0] == "matched":
+            # Matched-edge records emitted by cleanup maps: pass through
+            # (emitted once, from the smaller endpoint).
+            return None, [(node, values[0])]
+        if state is None:
+            # The node itself left earlier; ignore stray messages.
+            return None, []
+        rng = _node_rng(self.seed, self.round_index, self.stage, node)
+        views = self.local_views(node, state, rng)
+        theirs: Dict[str, MMEdge] = {}
+        for value in values:
+            theirs[value[1]] = value[2]
+        capacity = self.new_capacity(state, views)
+        adj: Dict[str, MMEdge] = {}
+        for neighbor in sorted(views):
+            view = views[neighbor]
+            if not self.keep_view(view):
+                continue  # this side dropped the edge -> it is dead
+            their_view = theirs.get(neighbor)
+            if their_view is None:
+                continue  # the neighbor dropped the edge (or died)
+            adj[neighbor] = self.merge(view, their_view)
+        if capacity > 0 and adj:
+            return MMNode(b=capacity, adj=adj), []
+        return Retired(), []
 
 
 class _MarkJob(_StageJob):
@@ -306,6 +364,7 @@ def mr_maximal_b_matching(
     strategy: str = "uniform",
     round_offset: int = 0,
     max_rounds: int = 10_000,
+    delta: bool = False,
 ) -> Tuple[Dict[EdgeKey, float], int]:
     """Run the four-stage loop to a maximal b-matching.
 
@@ -316,9 +375,18 @@ def mr_maximal_b_matching(
     round_offset:
         Distinguishes RNG streams when StackMR invokes the subroutine
         many times with the same seed.
+    delta:
+        ``True`` runs the stages as resident-state scan rounds (node
+        records never shuffle); ``False`` (the default for direct
+        callers) keeps the classic full-state formulation.  Matched
+        edges, rounds, and job counts are bit-identical either way.
 
     Returns the matched edges and the number of (four-job) iterations.
     """
+    if delta:
+        return _mr_maximal_delta(
+            records, runtime, seed, strategy, round_offset, max_rounds
+        )
     matched: Dict[EdgeKey, float] = {}
     rounds = 0
     while records:
@@ -338,4 +406,40 @@ def mr_maximal_b_matching(
             else:
                 records.append((key, value))
         rounds += 1
+    return matched, rounds
+
+
+def _mr_maximal_delta(
+    records: List[KeyValue],
+    runtime: MapReduceRuntime,
+    seed: int,
+    strategy: str,
+    round_offset: int,
+    max_rounds: int,
+) -> Tuple[Dict[EdgeKey, float], int]:
+    """The four-stage loop over a resident state store (scan rounds)."""
+    matched: Dict[EdgeKey, float] = {}
+    rounds = 0
+    store: ResidentStateStore = runtime.state_store("maximal-mm")
+    store.load(records)
+    try:
+        while len(store):
+            if rounds >= max_rounds:
+                raise RoundLimitExceeded(
+                    "mr-maximal-b-matching", max_rounds
+                )
+            round_index = round_offset + rounds
+            for stage_class in (_MarkJob, _SelectJob, _MatchFixJob):
+                job = stage_class(seed, round_index, strategy)
+                runtime.run_stateful(job, store, scan=True)
+            output, _ = runtime.run_stateful(
+                _CleanupJob(seed, round_index, strategy),
+                store,
+                scan=True,
+            )
+            for key, value in output:
+                matched[edge_key(key[1], key[2])] = value
+            rounds += 1
+    finally:
+        store.close()
     return matched, rounds

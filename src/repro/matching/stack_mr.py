@@ -27,6 +27,24 @@ StackGreedyMR is this exact pipeline with ``strategy="greedy"`` (the
 maximal-matching marking stage proposes the heaviest edges instead of
 uniform-random ones); ``strategy="weighted"`` gives the third variant
 mentioned in §6.
+
+Resident-state rounds (``delta=True``, the default)
+---------------------------------------------------
+
+On the delta iteration plane every push- and pop-phase job runs in
+scan mode (:meth:`~repro.mapreduce.runtime.MapReduceRuntime.
+run_stateful`): the ``StackNode``/``PopNode`` records live in a
+partition-aligned resident store (spillable to the runtime's
+filesystem) and only the lightweight messages — dual ratios for (2)
+and (3), pop confirmations for the pop jobs — flow through the
+shuffle.  The update job receives the fresh layer's stacked sets as
+side data instead of re-shipping annotated copies of every node
+record, and nodes outside the layer are quiescent: the scan visits
+them, finds nothing changed, and emits no delta.  The maximal
+subroutine (1) runs its four stages on the same plane.  Matchings,
+duals, layer and round counts, and job counts are bit-identical to the
+full-state path (``delta=False``), which remains available for A/B
+benchmarking.
 """
 
 from __future__ import annotations
@@ -36,7 +54,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..graph.bipartite import Graph
 from ..graph.edges import EdgeKey, edge_key
-from ..mapreduce import KeyValue, MapReduceJob, MapReduceRuntime
+from ..mapreduce import KeyValue, MapReduceJob, MapReduceRuntime, Retired
 from ..mapreduce.errors import RoundLimitExceeded
 from .maximal_mr import mm_records_from_adjacency, mr_maximal_b_matching
 from .stack import COVERAGE_TOLERANCE, layer_capacities
@@ -73,7 +91,11 @@ class _UpdateJob(MapReduceJob):
     def map(self, node: str, state: StackNode) -> Iterable[KeyValue]:
         yield node, ("self", state)
         ratio = state.y / state.b
-        for neighbor in state.stacked_now:
+        # Sorted iteration: frozenset order depends on the process's
+        # string hash seed, and the dual increment below is a float
+        # sum, so a deterministic order is what makes runs (and the
+        # golden convergence curves) bit-identical across machines.
+        for neighbor in sorted(state.stacked_now):
             yield neighbor, ("ratio", node, ratio)
 
     def reduce(self, node, values: List) -> Iterable[KeyValue]:
@@ -91,7 +113,7 @@ class _UpdateJob(MapReduceJob):
         assert state is not None, "push-phase records never vanish"
         my_ratio = state.y / state.b
         increment = 0.0
-        for neighbor in state.stacked_now:
+        for neighbor in sorted(state.stacked_now):
             weight = state.adj[neighbor]
             delta = (weight - ratios[neighbor] - my_ratio) / 2.0
             increment += delta
@@ -105,6 +127,50 @@ class _UpdateJob(MapReduceJob):
         yield node, StackNode(
             b=state.b, y=state.y + increment, adj=new_adj
         )
+
+    # -- the resident-state (scan-mode) variant ----------------------------
+    #
+    # On the delta plane the layer's stacked sets travel as side data
+    # (``side_data["stacked"]``) instead of being baked into per-round
+    # copies of every node record, and only the stacked nodes exchange
+    # ratio messages — everyone else is visited by the scan, matches
+    # the quiescent fast path, and emits nothing.
+
+    def map_resident(
+        self, node: str, state: StackNode
+    ) -> Iterable[KeyValue]:
+        stacked = self.side_data["stacked"].get(node)
+        if not stacked:
+            return
+        ratio = state.y / state.b
+        for neighbor in sorted(stacked):
+            yield neighbor, ("ratio", node, ratio)
+
+    def reduce_state(self, node, state: Optional[StackNode], values: List):
+        if state is None:
+            return None, []
+        stacked = self.side_data["stacked"].get(node)
+        if not stacked:
+            return state, []  # quiescent: no layer edges at this node
+        ratios = {value[1]: value[2] for value in values}
+        my_ratio = state.y / state.b
+        increment = 0.0
+        outputs: List[KeyValue] = []
+        for neighbor in sorted(stacked):
+            weight = state.adj[neighbor]
+            delta = (weight - ratios[neighbor] - my_ratio) / 2.0
+            increment += delta
+            if node < neighbor:
+                outputs.append((("delta", node, neighbor), delta))
+        new_adj = {
+            nbr: w
+            for nbr, w in state.adj.items()
+            if nbr not in stacked
+        }
+        new_state = StackNode(
+            b=state.b, y=state.y + increment, adj=new_adj
+        )
+        return new_state, outputs
 
 
 class _CoverageJob(MapReduceJob):
@@ -142,6 +208,34 @@ class _CoverageJob(MapReduceJob):
             ):
                 new_adj[neighbor] = weight
         yield node, StackNode(b=state.b, y=state.y, adj=new_adj)
+
+    # -- the resident-state (scan-mode) variant ----------------------------
+
+    def map_resident(
+        self, node: str, state: StackNode
+    ) -> Iterable[KeyValue]:
+        ratio = state.y / state.b
+        for neighbor in state.adj:
+            yield neighbor, ("ratio", node, ratio)
+
+    def reduce_state(self, node, state: Optional[StackNode], values: List):
+        if state is None:
+            return None, []
+        if not state.adj and not values:
+            return state, []  # isolated node: nothing to re-cover
+        ratios = {value[1]: value[2] for value in values}
+        my_ratio = state.y / state.b
+        new_adj: Dict[str, float] = {}
+        for neighbor, weight in state.adj.items():
+            coverage = my_ratio + ratios[neighbor]
+            if (
+                coverage
+                < self.threshold_factor * weight - COVERAGE_TOLERANCE
+            ):
+                new_adj[neighbor] = weight
+        if new_adj == state.adj:
+            return state, []  # quiescent: no edge became covered
+        return StackNode(b=state.b, y=state.y, adj=new_adj), []
 
 
 class _PopLayerJob(MapReduceJob):
@@ -185,6 +279,67 @@ class _PopLayerJob(MapReduceJob):
         if residual > 0 and new_stacked:
             yield node, PopNode(residual=residual, stacked=new_stacked)
 
+    # -- the resident-state (scan-mode) variant ----------------------------
+
+    def map_resident(
+        self, node: str, state: PopNode
+    ) -> Iterable[KeyValue]:
+        for neighbor, (level, _) in state.stacked.items():
+            if level == self.level:
+                yield neighbor, ("inc", node)
+
+    def reduce_state(self, node, state: Optional[PopNode], values: List):
+        if state is None:
+            return None, []  # node died in a higher layer
+        confirmations = {value[1] for value in values}
+        included: List[Tuple[str, float]] = []
+        new_stacked: Dict[str, Tuple[int, float]] = {}
+        for neighbor, (level, weight) in state.stacked.items():
+            if level == self.level:
+                if neighbor in confirmations:
+                    included.append((neighbor, weight))
+                # else: the neighbor died earlier -> the edge is gone
+            else:
+                new_stacked[neighbor] = (level, weight)
+        outputs: List[KeyValue] = [
+            (("matched", node, neighbor), weight)
+            for neighbor, weight in included
+            if node < neighbor
+        ]
+        residual = state.residual - len(included)
+        if residual > 0 and new_stacked:
+            return (
+                PopNode(residual=residual, stacked=new_stacked),
+                outputs,
+            )
+        return Retired(), outputs
+
+
+def _initial_states(
+    graph: Graph, capacities: Dict[str, int]
+) -> List[Tuple[str, StackNode]]:
+    """The push-phase seed records, in sorted node order."""
+    states: List[Tuple[str, StackNode]] = []
+    for node in sorted(capacities):
+        if capacities[node] <= 0:
+            continue
+        adj = {
+            nbr: w
+            for nbr, w in graph.incident(node)
+            if capacities.get(nbr, 0) > 0
+        }
+        states.append((node, StackNode(b=capacities[node], y=0.0, adj=adj)))
+    return states
+
+
+def _stacked_by_node(matched: Dict[EdgeKey, float]) -> Dict[str, frozenset]:
+    """Each node's partners in a freshly stacked layer."""
+    stacked: Dict[str, set] = {}
+    for u, v in matched:
+        stacked.setdefault(u, set()).add(v)
+        stacked.setdefault(v, set()).add(u)
+    return {node: frozenset(partners) for node, partners in stacked.items()}
+
 
 def stack_mr_b_matching(
     graph: Graph,
@@ -194,6 +349,7 @@ def stack_mr_b_matching(
     runtime: Optional[MapReduceRuntime] = None,
     max_push_rounds: int = 10_000,
     max_inner_rounds: int = 10_000,
+    delta: bool = True,
 ) -> MatchingResult:
     """Run StackMR on ``graph`` through the MapReduce simulator.
 
@@ -202,22 +358,20 @@ def stack_mr_b_matching(
     carries the dual variables, the certified dual upper bound
     ``(3+2ε)·Σy_v``, the number of stack layers, and the number of
     simulated MapReduce jobs (the paper's efficiency metric).
+
+    ``delta`` selects the execution plane: ``True`` (default) keeps
+    push- and pop-phase node records resident
+    (:meth:`~repro.mapreduce.runtime.MapReduceRuntime.run_stateful`,
+    scan mode — the maximal subroutine included), ``False`` re-ships
+    the full state through every job as the paper's formulation does.
+    Matchings, duals, layer/round counts, and job counts are
+    bit-identical across the two paths.
     """
     runtime = runtime or MapReduceRuntime()
     jobs_before = runtime.jobs_executed
     capacities = graph.capacities()
     caps_layer = layer_capacities(capacities, epsilon)
-
-    states: Dict[str, StackNode] = {}
-    for node in sorted(capacities):
-        if capacities[node] <= 0:
-            continue
-        adj = {
-            nbr: w
-            for nbr, w in graph.incident(node)
-            if capacities.get(nbr, 0) > 0
-        }
-        states[node] = StackNode(b=capacities[node], y=0.0, adj=adj)
+    initial = _initial_states(graph, capacities)
 
     layers: List[Dict[EdgeKey, float]] = []
     deltas: Dict[EdgeKey, float] = {}
@@ -225,58 +379,92 @@ def stack_mr_b_matching(
     update_job = _UpdateJob()
     coverage_job = _CoverageJob(epsilon)
 
-    while True:
-        live_edges = sum(len(state.adj) for state in states.values())
-        if live_edges == 0:
-            break
-        if push_rounds >= max_push_rounds:
-            raise RoundLimitExceeded("stack-mr-push", max_push_rounds)
-        mm_records = mm_records_from_adjacency(
-            {node: state.adj for node, state in states.items()},
-            caps_layer,
-        )
-        matched, _ = mr_maximal_b_matching(
-            mm_records,
-            runtime,
-            seed=seed,
-            strategy=strategy,
-            round_offset=push_rounds * max_inner_rounds,
-            max_rounds=max_inner_rounds,
-        )
-        layers.append(matched)
-        stacked_by_node: Dict[str, set] = {}
-        for u, v in matched:
-            stacked_by_node.setdefault(u, set()).add(v)
-            stacked_by_node.setdefault(v, set()).add(u)
-        update_records: List[KeyValue] = [
-            (
-                node,
-                StackNode(
-                    b=state.b,
-                    y=state.y,
-                    adj=state.adj,
-                    stacked_now=frozenset(
-                        stacked_by_node.get(node, ())
-                    ),
-                ),
-            )
-            for node, state in sorted(states.items())
-        ]
-        updated = runtime.run(update_job, update_records)
-        states = {}
-        for key, value in updated:
-            if isinstance(key, tuple) and key[0] == "delta":
-                deltas[edge_key(key[1], key[2])] = value
-            else:
-                states[key] = value
-        covered = runtime.run(
-            coverage_job, sorted(states.items())
-        )
-        states = dict(covered)
-        push_rounds += 1
+    push_store = None
+    states: Dict[str, StackNode] = {}
+    if delta:
+        push_store = runtime.state_store("stack-push")
+        push_store.load(initial)
+        # No driver-side copy: the store is the single owner, so its
+        # out-of-core parking actually bounds between-round memory.
+        del initial
+    else:
+        states = dict(initial)
 
-    duals = {node: state.y for node, state in states.items()}
-    upper_bound = (3.0 + 2.0 * epsilon) * sum(duals.values())
+    def current_states() -> List[Tuple[str, StackNode]]:
+        if push_store is not None:
+            return list(push_store.records())
+        return list(states.items())
+
+    try:
+        while True:
+            snapshot = current_states()
+            live_edges = sum(len(state.adj) for _, state in snapshot)
+            if live_edges == 0:
+                break
+            if push_rounds >= max_push_rounds:
+                raise RoundLimitExceeded(
+                    "stack-mr-push", max_push_rounds
+                )
+            mm_records = mm_records_from_adjacency(
+                {node: state.adj for node, state in snapshot},
+                caps_layer,
+            )
+            matched, _ = mr_maximal_b_matching(
+                mm_records,
+                runtime,
+                seed=seed,
+                strategy=strategy,
+                round_offset=push_rounds * max_inner_rounds,
+                max_rounds=max_inner_rounds,
+                delta=delta,
+            )
+            layers.append(matched)
+            stacked = _stacked_by_node(matched)
+            if push_store is not None:
+                updated, _ = runtime.run_stateful(
+                    update_job,
+                    push_store,
+                    scan=True,
+                    side_data={"stacked": stacked},
+                )
+                for key, value in updated:
+                    deltas[edge_key(key[1], key[2])] = value
+                runtime.run_stateful(
+                    coverage_job, push_store, scan=True
+                )
+            else:
+                update_records: List[KeyValue] = [
+                    (
+                        node,
+                        StackNode(
+                            b=state.b,
+                            y=state.y,
+                            adj=state.adj,
+                            stacked_now=stacked.get(node, _EMPTY),
+                        ),
+                    )
+                    for node, state in sorted(states.items())
+                ]
+                updated = runtime.run(update_job, update_records)
+                states = {}
+                for key, value in updated:
+                    if isinstance(key, tuple) and key[0] == "delta":
+                        deltas[edge_key(key[1], key[2])] = value
+                    else:
+                        states[key] = value
+                covered = runtime.run(
+                    coverage_job, sorted(states.items())
+                )
+                states = dict(covered)
+            push_rounds += 1
+
+        duals = {node: state.y for node, state in current_states()}
+    finally:
+        if push_store is not None:
+            push_store.close()
+    upper_bound = (3.0 + 2.0 * epsilon) * sum(
+        duals[node] for node in sorted(duals)
+    )
 
     # ---- pop phase: one job per layer, from the top of the stack ----
     stacked_edges: Dict[str, Dict[str, Tuple[int, float]]] = {}
@@ -289,14 +477,27 @@ def stack_mr_b_matching(
         for node, stacked in sorted(stacked_edges.items())
     ]
     matching = Matching()
-    for level in range(len(layers) - 1, -1, -1):
-        output = runtime.run(_PopLayerJob(level), pop_records)
-        pop_records = []
-        for key, value in output:
-            if isinstance(key, tuple) and key[0] == "matched":
-                matching.add(key[1], key[2], value)
-            else:
-                pop_records.append((key, value))
+    if delta:
+        pop_store = runtime.state_store("stack-pop")
+        pop_store.load(pop_records)
+        try:
+            for level in range(len(layers) - 1, -1, -1):
+                output, _ = runtime.run_stateful(
+                    _PopLayerJob(level), pop_store, scan=True
+                )
+                for key, value in output:
+                    matching.add(key[1], key[2], value)
+        finally:
+            pop_store.close()
+    else:
+        for level in range(len(layers) - 1, -1, -1):
+            output = runtime.run(_PopLayerJob(level), pop_records)
+            pop_records = []
+            for key, value in output:
+                if isinstance(key, tuple) and key[0] == "matched":
+                    matching.add(key[1], key[2], value)
+                else:
+                    pop_records.append((key, value))
 
     name = "StackMR" if strategy == "uniform" else (
         "StackGreedyMR" if strategy == "greedy" else "StackWeightedMR"

@@ -1,0 +1,349 @@
+"""Unit tests for the delta iteration plane's resident state store.
+
+Covers the store contract (partition alignment with the shuffle,
+out-of-core parking on both filesystems, the key index) and the
+``run_stateful`` round semantics (scan vs frontier mode, quiescence by
+equality, Retired departures with pruned notices, delta convergence,
+and the ``iteration.*`` counters) on a toy job — the matching-layer
+equivalents live in ``tests/matching``.
+"""
+
+import pytest
+
+from repro.mapreduce import (
+    Counters,
+    HashPartitioner,
+    IterativeDriver,
+    JobValidationError,
+    LocalDiskFileSystem,
+    MapReduceJob,
+    MapReduceRuntime,
+    ResidentStateStore,
+    Retired,
+    canonical_bytes,
+)
+from repro.mapreduce.errors import DriverError
+from repro.mapreduce.state import (
+    STATE_SPILL_COUNTERS,
+    strip_volatile_counters,
+)
+
+
+class CountDown(MapReduceJob):
+    """Toy stateful job: each key decrements until it retires.
+
+    Scan mode sends each key one ("tick", 1) message per round;
+    frontier mode makes changed keys tick themselves.
+    """
+
+    name = "count-down"
+
+    def map_resident(self, key, state):
+        yield key, ("tick", 1)
+
+    def map_delta(self, key, delta):
+        if isinstance(delta, Retired):
+            return
+        yield key, ("tick", 1)
+
+    def reduce_state(self, key, state, values):
+        if state is None:
+            return None, []
+        remaining = state - sum(amount for _, amount in values)
+        if remaining <= 0:
+            return Retired(), [((key, "done"), 0)]
+        return remaining, []
+
+
+class Idle(MapReduceJob):
+    """Reduce returns an equal-but-not-identical state every round."""
+
+    name = "idle"
+
+    def map_resident(self, key, state):
+        yield key, ("noop",)
+
+    def reduce_state(self, key, state, values):
+        return list(state), []
+
+
+class Leave(MapReduceJob):
+    """Every key retires at once, naming every peer."""
+
+    name = "leave"
+
+    def map_resident(self, key, state):
+        yield key, ("go",)
+
+    def reduce_state(self, key, state, values):
+        if state is None:
+            return None, []
+        return Retired(state), []
+
+
+class LeaveOne(MapReduceJob):
+    """Only "goner" retires, notifying the surviving "stays"."""
+
+    name = "leave-one"
+
+    def map_resident(self, key, state):
+        yield key, ("go",)
+
+    def reduce_state(self, key, state, values):
+        if key == "goner":
+            return Retired(("stays",)), []
+        return state, []
+
+
+# -- store contract ---------------------------------------------------------
+
+
+def test_store_partitions_align_with_shuffle_hash():
+    store = ResidentStateStore("align", num_partitions=4)
+    store.load([(f"k{i}", i) for i in range(40)])
+    for i in range(40):
+        key_bytes = canonical_bytes(f"k{i}")
+        index = HashPartitioner.partition_bytes(key_bytes, 4)
+        assert key_bytes in store.partition(index)
+
+
+def test_store_records_order_is_partition_major_byte_sorted():
+    store = ResidentStateStore("order", num_partitions=3)
+    store.load([(f"k{i}", i) for i in range(20)])
+    listed = list(store.records())
+    expected = []
+    for index in range(3):
+        part = store.partition(index)
+        expected.extend(part[kb] for kb in sorted(part))
+    assert listed == expected
+    assert len(store) == 20
+
+
+@pytest.mark.parametrize("fs", ["memory", "disk"])
+def test_store_parks_and_reloads_losslessly(fs, tmp_path):
+    filesystem = (
+        LocalDiskFileSystem(root=str(tmp_path / "dfs"))
+        if fs == "disk"
+        else None
+    )
+    counters = Counters()
+    store = ResidentStateStore(
+        "park",
+        num_partitions=4,
+        filesystem=filesystem,
+        spill_threshold=5,
+        counters=counters,
+    )
+    # Rich (non-JSON) state values must survive the round trip: the
+    # store pickles them into bytes payloads for the record codec.
+    states = {f"k{i}": {"adj": {f"n{j}": j / 3 for j in range(i)}} for i in range(12)}
+    store.load(sorted(states.items()))
+    store.maybe_park()  # 12 > 5: must park
+    assert counters.get("park", "state.spilled_records") == 12
+    assert counters.get("runtime", "state.spill_files") > 0
+    # The key index answers membership without loading anything.
+    assert store.contains("k3") and not store.contains("nope")
+    assert len(store) == 12
+    # Reloading returns the exact states.
+    assert dict(store.records()) == states
+
+
+def test_store_below_threshold_never_parks():
+    counters = Counters()
+    store = ResidentStateStore(
+        "small", num_partitions=2, spill_threshold=100, counters=counters
+    )
+    store.load([("a", 1), ("b", 2)])
+    store.maybe_park()
+    assert counters.get("small", "state.spilled_records") == 0
+
+
+def test_store_close_removes_parked_datasets(tmp_path):
+    filesystem = LocalDiskFileSystem(root=str(tmp_path / "dfs"))
+    store = ResidentStateStore(
+        "gone", num_partitions=2, filesystem=filesystem, spill_threshold=0
+    )
+    store.load([("a", 1), ("b", 2)])
+    store.park()
+    assert filesystem.list_paths("/state")
+    store.close()
+    assert not filesystem.list_paths("/state")
+    assert len(store) == 0
+
+
+def _reversed_md5_partitioner(key, num_partitions):
+    """A custom partitioner that disagrees with the default hash."""
+    from repro.mapreduce import stable_hash
+
+    return (num_partitions - 1) - stable_hash(key) % num_partitions
+
+
+def test_store_honors_custom_shuffle_partitioner():
+    """Regression: the store must route like the runtime's shuffle.
+
+    With a custom partitioner the default byte-hash would place state
+    in different partitions than the messages, and every reduce would
+    see ``state=None`` — a silently empty result.
+    """
+    from repro.graph import star_graph
+    from repro.matching import greedy_mr_b_matching
+
+    graph = star_graph(6, center_capacity=2)
+    results = {}
+    for delta in (False, True):
+        runtime = MapReduceRuntime(
+            counters=Counters(), partitioner=_reversed_md5_partitioner
+        )
+        results[delta] = greedy_mr_b_matching(
+            graph, runtime=runtime, delta=delta
+        )
+    assert sorted(results[True].matching.edges()) == sorted(
+        results[False].matching.edges()
+    )
+    assert results[True].value_history == results[False].value_history
+    assert len(results[True].matching) > 0
+
+
+def test_runtime_rejects_misaligned_store():
+    runtime = MapReduceRuntime(num_reduce_tasks=4)
+    store = ResidentStateStore("bad", num_partitions=3)
+    with pytest.raises(JobValidationError):
+        runtime.run_stateful(CountDown(), store, scan=True)
+
+
+# -- round semantics --------------------------------------------------------
+
+
+def test_scan_rounds_converge_to_empty_delta_stream(runtime):
+    store = runtime.state_store("countdown")
+    store.load([("a", 1), ("b", 3), ("c", 2)])
+    job = CountDown()
+    done_at = {}
+    rounds = 0
+    while len(store):
+        output, deltas = runtime.run_stateful(job, store, scan=True)
+        rounds += 1
+        for (key, _), _ in output:
+            done_at[key] = rounds
+        if not deltas and len(store):
+            pytest.fail("non-empty store but empty delta stream")
+    assert rounds == 3
+    assert done_at == {"a": 1, "c": 2, "b": 3}
+    assert runtime.counters.get("count-down", "iteration.delta_records") > 0
+
+
+def test_frontier_rounds_visit_only_message_keys(runtime):
+    """Frontier mode reduces only where messages arrive."""
+    store = runtime.state_store("frontier")
+    store.load([("hot", 5), ("cold", 5)])
+    job = CountDown()
+    # Only "hot" is in the delta stream: "cold" must stay untouched.
+    output, deltas = runtime.run_stateful(
+        job, store, deltas=[("hot", 5)], scan=False
+    )
+    assert deltas == [("hot", 4)]
+    assert dict(store.records())["cold"] == 5
+    assert runtime.counters.get(
+        "count-down", "iteration.quiescent_records"
+    ) == 1
+
+
+def test_quiescence_is_detected_by_equality(runtime):
+    store = runtime.state_store("idle")
+    store.load([("a", [1, 2]), ("b", [3])])
+    _, deltas = runtime.run_stateful(Idle(), store, scan=True)
+    assert deltas == []
+    assert runtime.counters.get("idle", "iteration.delta_records") == 0
+    assert runtime.counters.get("idle", "iteration.quiescent_records") == 2
+
+
+def test_retired_notices_are_pruned_to_survivors(runtime):
+    # Everyone retires at once, naming everyone else: all notices must
+    # be pruned, leaving an empty delta stream.
+    store = runtime.state_store("leave")
+    peers = ("a", "b", "c")
+    store.load(
+        [(k, tuple(p for p in peers if p != k)) for k in peers]
+    )
+    _, deltas = runtime.run_stateful(Leave(), store, scan=True)
+    assert deltas == []
+    assert len(store) == 0
+
+
+def test_retired_notices_reach_survivors(runtime):
+    store = runtime.state_store("leave-one")
+    store.load([("goner", 0), ("stays", 1)])
+    _, deltas = runtime.run_stateful(LeaveOne(), store, scan=True)
+    assert deltas == [("goner", Retired(("stays",)))]
+    assert len(store) == 1 and store.contains("stays")
+
+
+def test_stateful_rounds_count_as_jobs(runtime):
+    store = runtime.state_store("jobs")
+    store.load([("a", 1)])
+    before = runtime.jobs_executed
+    runtime.run_stateful(CountDown(), store, scan=True)
+    assert runtime.jobs_executed == before + 1
+    assert runtime.job_log[-1] == "count-down"
+
+
+def test_outputs_bit_identical_across_backends_and_storage(tmp_path):
+    """The stateful plane inherits the runtime equivalence contract."""
+    def run(backend, storage, spill):
+        runtime = MapReduceRuntime(
+            num_map_tasks=3,
+            num_reduce_tasks=3,
+            counters=Counters(),
+            backend=backend,
+            storage=storage,
+            spill_threshold=spill,
+            spill_dir=str(tmp_path / f"sp-{backend}-{spill}"),
+        )
+        store = runtime.state_store("equiv")
+        store.load([(f"k{i}", 1 + i % 4) for i in range(23)])
+        transcript = []
+        job = CountDown()
+        while len(store):
+            output, deltas = runtime.run_stateful(job, store, scan=True)
+            transcript.append((output, deltas))
+        return transcript, strip_volatile_counters(
+            runtime.counters.snapshot()
+        )
+
+    baseline = run("serial", None, None)
+    for backend in ("serial", "threads", "processes"):
+        for storage, spill in (
+            (None, 0),
+            (LocalDiskFileSystem(root=str(tmp_path / f"d-{backend}")), 2),
+        ):
+            assert run(backend, storage, spill) == baseline
+
+
+def test_driver_integration(runtime):
+    driver = IterativeDriver(runtime, name="countdown")
+    with pytest.raises(DriverError):
+        driver.run_stateful(CountDown())
+    driver.create_store([("a", 2), ("b", 9)])
+    # Frontier rounds driven by "a" alone: "b" stays quiescent (and
+    # resident) throughout, which the savings meter must reflect.
+    deltas = [("a", 2)]
+    rounds = 0
+    while deltas:
+        _, deltas = driver.run_stateful(CountDown(), deltas=deltas)
+        rounds += 1
+    assert rounds == 2
+    assert len(driver.store) == 1 and driver.store.contains("b")
+    assert driver.quiescent_ratio() == 0.5
+    driver.close()
+    assert driver.store is None
+
+
+def test_strip_volatile_counters_drops_both_spill_families():
+    counters = Counters()
+    counters.increment("g", "spilled_records", 5)
+    for name in STATE_SPILL_COUNTERS:
+        counters.increment("g", name, 7)
+    counters.increment("g", "kept", 1)
+    assert strip_volatile_counters(counters.snapshot()) == {
+        "g": {"kept": 1}
+    }

@@ -1,0 +1,23 @@
+"""Fixtures for the matching test matrix.
+
+The matching suite runs across the same execution/storage matrix as
+``tests/mapreduce`` — the ``runtime`` fixture from the top-level
+conftest cycles execution backends (``REPRO_TEST_BACKENDS``) and
+follows the ``REPRO_TEST_FS`` / ``REPRO_TEST_SPILL_THRESHOLD`` storage
+knobs — plus one matching-specific axis: ``delta`` toggles the
+iteration plane (resident-state delta rounds vs the classic full-state
+rounds).  The contract asserted in ``test_matrix.py``: matchings,
+``value_history``, round counts, and job counts are bit-identical
+across *every* cell, and counter totals (minus the spill counters)
+are bit-identical across cells that share a delta mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(params=[False, True], ids=["full-state", "delta"])
+def delta(request) -> bool:
+    """Both iteration planes of the *_mr matching algorithms."""
+    return request.param

@@ -8,6 +8,7 @@ from repro.graph import Graph, ascending_path, check_matching, star_graph
 from repro.mapreduce import MapReduceRuntime
 from repro.mapreduce.errors import RoundLimitExceeded
 from repro.matching import greedy_b_matching, greedy_mr_b_matching
+from repro.matching.greedy_mr import default_max_rounds
 
 from ..strategies import small_bipartite_graphs, small_general_graphs
 
@@ -113,6 +114,34 @@ def test_round_limit_enforced():
     g = ascending_path(30)
     with pytest.raises(RoundLimitExceeded):
         greedy_mr_b_matching(g, max_rounds=2)
+
+
+def test_default_round_cap_is_linear_not_quadratic():
+    """Regression: the default cap follows the progress guarantee.
+
+    Every round with live edges matches at least one edge (no round's
+    delta stream is empty before convergence), so rounds never exceed
+    |E| and the default cap is ``|E| + 1`` — the old ``2·|E| + 4``
+    made ``RoundLimitExceeded`` unreachable-or-quadratic on adversarial
+    inputs.
+    """
+    g = ascending_path(30)
+    assert default_max_rounds(g) == g.num_edges + 1
+    assert default_max_rounds(Graph()) == 1
+
+
+@pytest.mark.parametrize("delta", [False, True])
+def test_ascending_path_converges_within_default_cap(delta):
+    """The adversarial worst case fits the derived cap with room: the
+    cascade is one match per round, which is exactly what the progress
+    guarantee promises."""
+    g = ascending_path(40)
+    result = greedy_mr_b_matching(g, delta=delta)
+    assert result.rounds <= default_max_rounds(g)
+    assert result.value == pytest.approx(greedy_b_matching(g).value)
+    # A cap below the true round count still trips the guard.
+    with pytest.raises(RoundLimitExceeded):
+        greedy_mr_b_matching(g, max_rounds=result.rounds - 1, delta=delta)
 
 
 @given(graph=small_general_graphs())

@@ -18,7 +18,7 @@ from repro.matching import (
 from ..strategies import small_general_graphs
 
 
-def _run(graph, seed=0, strategy="uniform", maps=4, reduces=4):
+def _run(graph, seed=0, strategy="uniform", maps=4, reduces=4, delta=False):
     runtime = MapReduceRuntime(
         num_map_tasks=maps, num_reduce_tasks=reduces
     )
@@ -26,7 +26,7 @@ def _run(graph, seed=0, strategy="uniform", maps=4, reduces=4):
         graph.adjacency_copy(), graph.capacities()
     )
     matched, rounds = mr_maximal_b_matching(
-        records, runtime, seed=seed, strategy=strategy
+        records, runtime, seed=seed, strategy=strategy, delta=delta
     )
     return matched, rounds, runtime
 
@@ -81,6 +81,25 @@ def test_round_offset_changes_random_stream():
     assert check_matching(g.capacities(), m2.keys()).feasible
     # both valid; streams differ so results typically differ
     assert m1 != m2 or len(m1) <= 1
+
+
+@given(
+    graph=small_general_graphs(),
+    strategy=st.sampled_from(MARKING_STRATEGIES),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_delta_plane_matches_full_state(graph, strategy, seed):
+    """Resident-scan stages = classic stages: same edges, rounds, jobs."""
+    full, full_rounds, full_runtime = _run(
+        graph, seed=seed, strategy=strategy, delta=False
+    )
+    lean, lean_rounds, lean_runtime = _run(
+        graph, seed=seed, strategy=strategy, delta=True
+    )
+    assert full == lean
+    assert full_rounds == lean_rounds
+    assert full_runtime.jobs_executed == lean_runtime.jobs_executed
+    assert full_runtime.job_log == lean_runtime.job_log
 
 
 def test_four_jobs_per_round():
