@@ -18,9 +18,9 @@ from repro.matching import greedy_mr_b_matching
 BAR_WIDTH = 48
 
 
-def main() -> None:
+def main(num_photos: int = 500, num_users: int = 90) -> None:
     dataset = flickr_dataset(
-        "flickr-anytime", num_photos=500, num_users=90, seed=5
+        "flickr-anytime", num_photos=num_photos, num_users=num_users, seed=5
     )
     graph = dataset.graph(sigma=2.0, alpha=2.0)
     print(

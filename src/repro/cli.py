@@ -9,6 +9,7 @@ jobs::
         --spill-threshold 1000
     repro match /tmp/fs --sigma 4.0 --alpha 2.0 --algorithm greedy_mr \
         --backend processes --out /tmp/fs/matching.tsv
+    repro serve /tmp/fs --sigma 4.0 --events 200 --batch-size 32
     repro experiment --only fig5 --scale 0.5
 
 ``--backend {serial,threads,processes}`` selects the execution backend
@@ -27,8 +28,13 @@ all four knobs; the spill counters report the extra IO.
 ``generate`` persists the item/consumer vectors, activity, and quality
 signals as TSV (via :mod:`repro.mapreduce.storage.tsvio`); ``join``
 materializes candidate edges; ``match`` builds the Problem-1 instance
-(capacities per §4) and writes the matched edges; ``experiment``
-delegates to :mod:`repro.experiments.__main__`.
+(capacities per §4) and writes the matched edges; ``serve`` keeps the
+matching *warm* — it bootstraps the online service from the corpus
+graph and streams synthetic live events (arrivals, re-scores, budget
+retunes, retirements) through micro-batched incremental
+re-convergence, reporting coalescing, latency percentiles, and the
+cold-batch verification; ``experiment`` delegates to
+:mod:`repro.experiments.__main__`.
 """
 
 from __future__ import annotations
@@ -231,6 +237,99 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drive the online matching service over a synthetic live stream.
+
+    Bootstraps an :class:`~repro.service.OnlineMatcher` from the
+    corpus's Problem-1 graph (same ``--sigma``/``--alpha`` path as
+    ``match``), then submits ``--events`` generated arrivals /
+    re-scores / retunes / retirements through the asyncio facade's
+    micro-batching and reports coalescing, latency percentiles,
+    throughput, and the cold-batch verification.
+    """
+    import asyncio
+
+    from .datasets.base import Dataset
+    from .service import MatchingService, OnlineMatcher, synthetic_events
+
+    items, consumers, meta = _load_corpus(args.corpus)
+    dataset = Dataset(
+        name=meta["name"],
+        items=items,
+        consumers=consumers,
+        consumer_activity=read_scalars(
+            os.path.join(args.corpus, "activity.tsv")
+        ),
+        item_quality=read_scalars(
+            os.path.join(args.corpus, "quality.tsv")
+        ),
+        capacity_scheme=meta["capacity_scheme"],
+    )
+    graph = dataset.graph(sigma=args.sigma, alpha=args.alpha)
+    events, _ = synthetic_events(graph, args.events, seed=args.seed)
+    runtime = MapReduceRuntime(
+        backend=args.backend,
+        storage=args.fs,
+        spill_threshold=args.spill_threshold,
+    )
+    matcher = OnlineMatcher(runtime=runtime, graph=graph)
+    service = MatchingService(
+        matcher,
+        max_batch=args.batch_size,
+        max_delay=args.max_delay_ms / 1000.0,
+    )
+
+    async def drive():
+        # Verification must run before close() releases the resident
+        # stores, so it lives inside the service's lifetime.
+        async with service:
+            await asyncio.gather(
+                *(service.submit_event(event) for event in events)
+            )
+            snap = await service.snapshot()
+            check = matcher.verify() if args.verify else None
+            return snap, check
+
+    start = time.perf_counter()
+    snapshot, verification = asyncio.run(drive())
+    elapsed = time.perf_counter() - start
+    metrics = service.metrics()
+    print(
+        f"serve: {metrics['events_admitted']:.0f} events admitted "
+        f"({metrics['events_rejected']:.0f} rejected) in "
+        f"{metrics['batches_flushed']:.0f} flushes "
+        f"(coalescing x{metrics['coalescing_ratio']:.1f}) "
+        f"over {elapsed:.2f}s"
+    )
+    print(
+        f"matching: {snapshot['matched_edges']} edges "
+        f"value={snapshot['value']:,.2f} across "
+        f"{snapshot['nodes']} nodes / "
+        f"{snapshot['candidate_edges']} candidate edges"
+    )
+    print(
+        f"latency: p50={metrics['latency_p50_ms']:.1f}ms "
+        f"p95={metrics['latency_p95_ms']:.1f}ms "
+        f"throughput={metrics['throughput_events_per_s']:,.0f} ev/s "
+        f"rounds={metrics['reconverge_rounds']:.0f}"
+    )
+    spill = _spill_summary(runtime)
+    if spill:
+        print(spill)
+    if args.profile:
+        print(_profile_summary(runtime))
+    if verification is not None:
+        identical, cold_value = verification
+        status = "identical" if identical else "MISMATCH"
+        print(
+            f"cold-batch check: {status} "
+            f"(cold value={cold_value:,.2f})"
+        )
+        if not identical:
+            return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
@@ -351,6 +450,46 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--out")
     match.add_argument("--capacities-out")
     match.set_defaults(func=_cmd_match)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the online matching service over a synthetic "
+        "live event stream",
+    )
+    serve.add_argument("corpus", help="directory written by 'generate'")
+    serve.add_argument("--sigma", type=float, required=True)
+    serve.add_argument("--alpha", type=float, default=2.0)
+    serve.add_argument(
+        "--events",
+        type=int,
+        default=50,
+        help="number of synthetic live events to stream (default 50)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="flush the pending micro-batch at N events (default 16)",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="flush at latest MS milliseconds after the first pending "
+        "event (default 50)",
+    )
+    serve.add_argument(
+        "--verify",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="check the final incremental matching against a cold "
+        "batch on the final graph (default on; exits 1 on mismatch)",
+    )
+    _add_cluster_options(serve, "all re-convergences")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
 
     experiment = sub.add_parser(
         "experiment", help="reproduce the paper's tables and figures"

@@ -55,6 +55,7 @@ from .partitioner import (
 from .pipeline import Pipeline, PipelineStage
 from .runtime import MapReduceRuntime
 from .state import (
+    STATE_POINT_COUNTERS,
     STATE_SPILL_COUNTERS,
     Quiet,
     ResidentStateStore,
@@ -102,6 +103,7 @@ __all__ = [
     "Retired",
     "RoundLimitExceeded",
     "SPILL_COUNTERS",
+    "STATE_POINT_COUNTERS",
     "STATE_SPILL_COUNTERS",
     "SerialExecutor",
     "ThreadExecutor",

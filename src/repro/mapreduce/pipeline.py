@@ -136,9 +136,20 @@ class Pipeline:
             produced.add(stage.output)
 
     def run(self) -> List[tuple]:
-        """Execute all stages in order; returns the last stage's output."""
+        """Execute all stages in order; returns the last stage's output.
+
+        Stage outputs *stream* from the runtime's reduce tasks straight
+        into ``filesystem.write`` (:meth:`~repro.mapreduce.runtime.
+        MapReduceRuntime.run_iter`) — no stage's output is ever
+        materialized as one driver-side list, which is what lets a
+        disk-backed pipeline honor the out-of-core storage contract.
+        ``records_out`` comes from the filesystem's own ``du``
+        accounting; the return value is the last stage's dataset read
+        back (bit-identical to the reduce output by the storage codec
+        contract).
+        """
         self.validate()
-        last: List[tuple] = []
+        last_output: Optional[str] = None
         for stage in self.stages:
             records = self.filesystem.read_many(stage.inputs)
             side = (
@@ -146,10 +157,17 @@ class Pipeline:
                 if stage.side_data is not None
                 else None
             )
-            last = self.runtime.run(stage.job, records, side_data=side)
-            self.filesystem.write(stage.output, last, overwrite=True)
-            self.records_out[stage.output] = len(last)
-        return last
+            stream = self.runtime.run_iter(
+                stage.job, records, side_data=side
+            )
+            self.filesystem.write(stage.output, stream, overwrite=True)
+            self.records_out[stage.output] = self.filesystem.du(
+                stage.output
+            ).records
+            last_output = stage.output
+        if last_output is None:
+            return []
+        return self.filesystem.read(last_output)
 
     def describe(self) -> str:
         """Multi-line summary of the pipeline's wiring and storage use.

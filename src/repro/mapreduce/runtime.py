@@ -273,6 +273,25 @@ class MapReduceRuntime:
         ``side_data`` is installed on the job via
         :meth:`MapReduceJob.configure` before any task runs.
         """
+        return list(self.run_iter(job, records, side_data=side_data))
+
+    def run_iter(
+        self,
+        job: MapReduceJob,
+        records: Iterable[KeyValue],
+        side_data: Optional[Mapping[str, Any]] = None,
+    ) -> Iterator[KeyValue]:
+        """Like :meth:`run`, streaming the output task by task.
+
+        The whole job executes eagerly (every reduce task has finished,
+        counters are merged in task-index order, and the job is logged
+        before this returns), but the output records are *yielded* from
+        the per-task result lists instead of being concatenated into
+        one driver-side list — each task's output is released as soon
+        as it is consumed.  :class:`~repro.mapreduce.pipeline.Pipeline`
+        streams this straight into ``filesystem.write``, so a stage's
+        output never exists twice driver-side.
+        """
         job.configure(side_data)
         splits = self._split_input(records)
         spiller = self._make_spiller()
@@ -281,14 +300,27 @@ class MapReduceRuntime:
             started = time.perf_counter()
             # The external shuffle hands each partition over already
             # merge-sorted, so the reduce tasks skip their sort.
-            output = self._run_reduce_phase(
-                job, partitions, presorted=spiller is not None
+            results = self.executor.run_tasks(
+                _execute_reduce_task,
+                [
+                    (job, partition, spiller is not None)
+                    for partition in partitions
+                ],
             )
             self.phase_timings["reduce"] += time.perf_counter() - started
         finally:
             self._close_spiller(spiller)
+        for _, task_counters in results:
+            self.counters.merge(task_counters)
         self._finish_job(job)
-        return output
+
+        def stream() -> Iterator[KeyValue]:
+            for index in range(len(results)):
+                task_output, _ = results[index]
+                results[index] = None  # release as consumed
+                yield from task_output
+
+        return stream()
 
     # -- the delta iteration plane ----------------------------------------
 
@@ -672,23 +704,6 @@ class MapReduceRuntime:
         if self.meter_bytes:
             self.counters.increment(group, "shuffle.bytes", shuffled_bytes)
         return partitions
-
-    def _run_reduce_phase(
-        self,
-        job: MapReduceJob,
-        partitions: List[Any],
-        presorted: bool,
-    ) -> List[KeyValue]:
-        """Dispatch one reduce task per partition through the executor."""
-        results = self.executor.run_tasks(
-            _execute_reduce_task,
-            [(job, partition, presorted) for partition in partitions],
-        )
-        output: List[KeyValue] = []
-        for task_output, task_counters in results:
-            self.counters.merge(task_counters)
-            output.extend(task_output)
-        return output
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -47,6 +47,7 @@ __all__ = [
     "Quiet",
     "ResidentStateStore",
     "Retired",
+    "STATE_POINT_COUNTERS",
     "STATE_SPILL_COUNTERS",
     "strip_volatile_counters",
 ]
@@ -61,16 +62,29 @@ STATE_SPILL_COUNTERS = (
     "state.spilled_bytes",
 )
 
+#: Counters metered by the single-key fast path on *parked* partitions:
+#: ``point_applies`` counts :meth:`ResidentStateStore.put`/``discard``
+#: calls absorbed by the overlay without unparking, ``point_reads``
+#: counts :meth:`ResidentStateStore.get` lookups served straight from a
+#: parked file.  Whether a partition is parked depends on the spill
+#: threshold, so these join the spill counters as volatile.
+STATE_POINT_COUNTERS = (
+    "state.point_applies",
+    "state.point_reads",
+)
+
 
 def strip_volatile_counters(snapshot: dict) -> dict:
-    """Drop shuffle-spill *and* state-spill counters from a snapshot.
+    """Drop shuffle-spill, state-spill, and point-access counters.
 
     The cross-cell equivalence contract of the matching test matrix:
     for a fixed delta mode, counter totals are bit-identical across
     executors, filesystems, and spill thresholds once the
-    threshold-dependent spill counters are stripped.
+    threshold-dependent counters are stripped.
     """
-    return strip_spill_counters(snapshot, extra=STATE_SPILL_COUNTERS)
+    return strip_spill_counters(
+        snapshot, extra=STATE_SPILL_COUNTERS + STATE_POINT_COUNTERS
+    )
 
 
 @dataclass(frozen=True)
@@ -172,6 +186,14 @@ class ResidentStateStore:
         self._keys: List[Set[bytes]] = [
             set() for _ in range(num_partitions)
         ]
+        #: Pending single-key edits against *parked* partitions:
+        #: ``key_bytes -> entry`` (``None`` = deletion tombstone).
+        #: Invariant: a partition's overlay is non-empty only while
+        #: ``_partitions[index] is None``; loading the partition folds
+        #: the overlay in and clears it.
+        self._overlay: List[Dict[bytes, Optional[StateEntry]]] = [
+            {} for _ in range(num_partitions)
+        ]
 
     # -- addressing --------------------------------------------------------
 
@@ -214,20 +236,80 @@ class ResidentStateStore:
             if self.filesystem.exists(path):
                 for key_bytes, payload in self.filesystem.read(path):
                     loaded[key_bytes] = pickle.loads(payload)
+            overlay = self._overlay[index]
+            if overlay:
+                for key_bytes, entry in overlay.items():
+                    if entry is None:
+                        loaded.pop(key_bytes, None)
+                    else:
+                        loaded[key_bytes] = entry
+                overlay.clear()
             self._partitions[index] = loaded
         return loaded
 
     def put(self, key_bytes: bytes, key: Any, value: Any) -> None:
-        """Insert or replace the state for one key."""
+        """Insert or replace the state for one key.
+
+        On a *parked* partition the write lands in the partition's
+        overlay — a per-event admission never reloads the whole parked
+        file to touch one key (metered as ``state.point_applies``).
+        """
         index = self.partition_of(key_bytes, key)
-        self.partition(index)[key_bytes] = (key, value)
+        part = self._partitions[index]
+        if part is None:
+            self._overlay[index][key_bytes] = (key, value)
+            self._meter_point("state.point_applies")
+        else:
+            part[key_bytes] = (key, value)
         self._keys[index].add(key_bytes)
 
     def discard(self, key_bytes: bytes, key: Any) -> None:
-        """Remove one key (no-op when absent)."""
+        """Remove one key (no-op when absent).
+
+        Deleting from a parked partition writes an overlay tombstone
+        instead of unparking (metered as ``state.point_applies``).
+        """
         index = self.partition_of(key_bytes, key)
-        self.partition(index).pop(key_bytes, None)
+        if key_bytes not in self._keys[index]:
+            return
+        part = self._partitions[index]
+        if part is None:
+            self._overlay[index][key_bytes] = None
+            self._meter_point("state.point_applies")
+        else:
+            part.pop(key_bytes, None)
         self._keys[index].discard(key_bytes)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """The state of one key, or ``default`` when absent.
+
+        A point read: a miss is answered from the in-memory key index,
+        a resident partition is probed directly, and a parked partition
+        is *scanned without unparking* — the partition stays on disk
+        (metered as ``state.point_reads``).
+        """
+        key_bytes = canonical_bytes(key)
+        index = self.partition_of(key_bytes, key)
+        if key_bytes not in self._keys[index]:
+            return default
+        part = self._partitions[index]
+        if part is not None:
+            return part[key_bytes][1]
+        pending = self._overlay[index].get(key_bytes)
+        if pending is not None:
+            return pending[1]
+        self._meter_point("state.point_reads")
+        path = self._path(index)
+        if self.filesystem.exists(path):
+            for stored_bytes, payload in self.filesystem.read(path):
+                if stored_bytes == key_bytes:
+                    return pickle.loads(payload)[1]
+        return default
+
+    def _meter_point(self, name: str) -> None:
+        if self.counters is not None:
+            self.counters.increment(self.name, name)
+            self.counters.increment("runtime", name)
 
     def contains(self, key: Any) -> bool:
         """Whether ``key`` is resident (checked against the in-memory
@@ -277,7 +359,12 @@ class ResidentStateStore:
         for index in range(self.num_partitions):
             part = self._partitions[index]
             if part is None:
-                continue  # already parked and not re-loaded
+                if not self._overlay[index]:
+                    continue  # already parked and not re-loaded
+                # Pending single-key edits: fold them into the parked
+                # file (the one unavoidable full-partition pass, paid
+                # once per park instead of once per edit).
+                part = self.partition(index)
             path = self._path(index)
             if not part:
                 if self.filesystem.exists(path):
@@ -306,6 +393,7 @@ class ResidentStateStore:
         for index in range(self.num_partitions):
             self._partitions[index] = {}
             self._keys[index].clear()
+            self._overlay[index].clear()
             path = self._path(index)
             if self.filesystem.exists(path):
                 self.filesystem.delete(path)

@@ -1,0 +1,151 @@
+"""The live event vocabulary of the online matching service.
+
+The paper frames content matching as a batch problem, but the serving
+setting it motivates (SocialScope's content-site framing) is a stream:
+photos are uploaded, users sign up, budgets are retuned, accounts are
+deleted.  This module defines the four event types the service admits
+and — crucially — a single driver-side interpretation of each
+(:func:`apply_event`), shared by the matcher, the synthetic workload
+generator, and the tests' cold-batch verification, so "the final graph
+after these events" means exactly one thing everywhere.
+
+Events are validated against the graph they apply to; an invalid event
+raises :class:`EventError` and leaves the graph untouched, so a bad
+event in a batch is rejectable without poisoning its neighbors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..graph import Graph
+
+__all__ = [
+    "Arrival",
+    "CapacityChange",
+    "EdgeArrival",
+    "Event",
+    "EventError",
+    "Retirement",
+    "apply_event",
+    "plain_graph",
+]
+
+
+class EventError(ValueError):
+    """An event is invalid against the current graph."""
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """A new node enters: a fresh item or consumer with its budget.
+
+    ``edges`` are its initial candidate edges — ``(neighbor, weight)``
+    pairs whose neighbors must already exist (a new photo arrives with
+    its similarity-join scores against the live audience).
+    """
+
+    node: str
+    capacity: int = 1
+    edges: Tuple[Tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class EdgeArrival:
+    """A new candidate edge between two live nodes (or a re-score:
+    re-adding an existing edge overwrites its weight)."""
+
+    u: str
+    v: str
+    weight: float
+
+
+@dataclass(frozen=True)
+class CapacityChange:
+    """A live node's budget ``b(v)`` is retuned (``0`` benches it)."""
+
+    node: str
+    capacity: int
+
+
+@dataclass(frozen=True)
+class Retirement:
+    """A live node leaves, taking every incident edge with it."""
+
+    node: str
+
+
+Event = Union[Arrival, EdgeArrival, CapacityChange, Retirement]
+
+
+def apply_event(graph: Graph, event: Event) -> None:
+    """Apply ``event`` to ``graph`` in place (validate-then-mutate).
+
+    Raises :class:`EventError` without touching the graph when the
+    event is invalid.  This is the one semantic authority for events:
+    the matcher's authoritative graph, the workload generator's mirror,
+    and the verification cold-batch all evolve through this function.
+    """
+    if isinstance(event, Arrival):
+        _check(not graph.has_node(event.node),
+               f"arrival of existing node {event.node!r}")
+        _check(event.capacity >= 0,
+               f"arrival capacity must be >= 0, got {event.capacity}")
+        seen = set()
+        for neighbor, weight in event.edges:
+            _check(neighbor != event.node,
+                   f"arrival {event.node!r} carries a self-loop")
+            _check(neighbor not in seen,
+                   f"arrival {event.node!r} repeats edge to "
+                   f"{neighbor!r}")
+            seen.add(neighbor)
+            _check(graph.has_node(neighbor),
+                   f"arrival {event.node!r} references unknown "
+                   f"neighbor {neighbor!r}")
+            _check(weight > 0,
+                   f"edge weights must be positive, got {weight}")
+        graph.add_node(event.node, event.capacity)
+        for neighbor, weight in event.edges:
+            graph.add_edge(event.node, neighbor, weight)
+    elif isinstance(event, EdgeArrival):
+        _check(event.u != event.v, f"self-loop on {event.u!r}")
+        for node in (event.u, event.v):
+            _check(graph.has_node(node), f"unknown node {node!r}")
+        _check(event.weight > 0,
+               f"edge weights must be positive, got {event.weight}")
+        graph.add_edge(event.u, event.v, event.weight)
+    elif isinstance(event, CapacityChange):
+        _check(graph.has_node(event.node),
+               f"capacity change for unknown node {event.node!r}")
+        _check(event.capacity >= 0,
+               f"capacity must be >= 0, got {event.capacity}")
+        graph.add_node(event.node, event.capacity)
+    elif isinstance(event, Retirement):
+        _check(graph.has_node(event.node),
+               f"retirement of unknown node {event.node!r}")
+        graph.remove_node(event.node)
+    else:
+        raise EventError(f"unknown event type: {event!r}")
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise EventError(message)
+
+
+def plain_graph(graph: Optional[Graph]) -> Graph:
+    """A plain :class:`Graph` copy (drops bipartite side bookkeeping).
+
+    The service is side-agnostic — arrivals need no item/consumer
+    declaration — so it works on a general graph even when bootstrapped
+    from a :class:`~repro.graph.BipartiteGraph`.
+    """
+    plain = Graph()
+    if graph is None:
+        return plain
+    for node, capacity in graph.capacities().items():
+        plain.add_node(node, capacity)
+    for edge in graph.edges():
+        plain.add_edge(edge.u, edge.v, edge.weight)
+    return plain

@@ -1,0 +1,85 @@
+"""Deterministic synthetic event streams for the live demos and tests.
+
+:func:`synthetic_events` generates a seeded stream of valid events
+against an evolving graph: arrivals (with candidate edges to the live
+population), re-scores, budget retunes, and retirements, in proportions
+loosely matching a content site's churn.  Validity is maintained by
+construction — every generated event is applied to a *mirror* graph via
+:func:`~repro.service.events.apply_event`, the same semantic authority
+the matcher uses, so the returned mirror is exactly "the final graph
+after these events".  The CLI's ``repro serve``, the examples' live
+modes, the serving benchmark, and the integration tests all share this
+generator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..graph import Graph
+from .events import (
+    Arrival,
+    CapacityChange,
+    EdgeArrival,
+    Event,
+    Retirement,
+    apply_event,
+    plain_graph,
+)
+
+__all__ = ["synthetic_events"]
+
+#: Weight grid for generated edges — coarse enough to exercise the
+#: total edge order's tie-breaking, like the test strategies do.
+_WEIGHTS = (0.5, 1.0, 1.5, 2.0, 3.0, 4.5, 7.0, 10.0)
+
+
+def synthetic_events(
+    graph: Graph,
+    count: int,
+    seed: int = 0,
+    node_prefix: str = "live",
+    max_edges_per_arrival: int = 3,
+) -> Tuple[List[Event], Graph]:
+    """Generate ``count`` valid events against (a copy of) ``graph``.
+
+    Returns ``(events, final_graph)`` where ``final_graph`` is the
+    mirror after every event applied — the cold-batch reference for the
+    service's bit-identical re-convergence contract.  The input graph
+    is not mutated.  Same ``(graph, count, seed)`` always yields the
+    same stream.
+    """
+    rng = random.Random(seed)
+    mirror = plain_graph(graph)
+    events: List[Event] = []
+    arrivals = 0
+    for _ in range(count):
+        nodes = sorted(mirror.nodes())
+        roll = rng.random()
+        event: Event
+        if roll < 0.45 or len(nodes) < 2:
+            name = f"{node_prefix}-{arrivals}"
+            arrivals += 1
+            targets = rng.sample(
+                nodes, min(len(nodes), rng.randint(0, max_edges_per_arrival))
+            )
+            event = Arrival(
+                node=name,
+                capacity=rng.randint(1, 3),
+                edges=tuple(
+                    (target, rng.choice(_WEIGHTS)) for target in targets
+                ),
+            )
+        elif roll < 0.65:
+            u, v = rng.sample(nodes, 2)
+            event = EdgeArrival(u=u, v=v, weight=rng.choice(_WEIGHTS))
+        elif roll < 0.85:
+            event = CapacityChange(
+                node=rng.choice(nodes), capacity=rng.randint(0, 3)
+            )
+        else:
+            event = Retirement(node=rng.choice(nodes))
+        apply_event(mirror, event)
+        events.append(event)
+    return events, mirror

@@ -24,6 +24,7 @@ from repro.mapreduce import (
 )
 from repro.mapreduce.errors import DriverError
 from repro.mapreduce.state import (
+    STATE_POINT_COUNTERS,
     STATE_SPILL_COUNTERS,
     strip_volatile_counters,
 )
@@ -347,3 +348,107 @@ def test_strip_volatile_counters_drops_both_spill_families():
     assert strip_volatile_counters(counters.snapshot()) == {
         "g": {"kept": 1}
     }
+
+
+def test_strip_volatile_counters_drops_point_counters():
+    counters = Counters()
+    for name in STATE_POINT_COUNTERS:
+        counters.increment("g", name, 3)
+    counters.increment("g", "kept", 1)
+    assert strip_volatile_counters(counters.snapshot()) == {
+        "g": {"kept": 1}
+    }
+
+
+# -- the single-key apply path on parked partitions -------------------------
+
+
+def _parked_store(tmp_path, counters=None):
+    """A parked 2-partition store holding k0..k5 (threshold 0)."""
+    store = ResidentStateStore(
+        "point",
+        num_partitions=2,
+        filesystem=LocalDiskFileSystem(root=str(tmp_path / "dfs")),
+        spill_threshold=0,
+        counters=counters,
+    )
+    store.load([(f"k{i}", i * 10) for i in range(6)])
+    store.park()
+    assert all(part is None for part in store._partitions)
+    return store
+
+
+def test_point_put_leaves_partition_parked(tmp_path):
+    counters = Counters()
+    store = _parked_store(tmp_path, counters)
+    store.put(canonical_bytes("new"), "new", 99)
+    store.put(canonical_bytes("k0"), "k0", -1)  # overwrite, same path
+    # No partition was unparked by the writes...
+    assert all(part is None for part in store._partitions)
+    assert counters.get("point", "state.point_applies") == 2
+    # ...yet the index and the data both see them.
+    assert store.contains("new") and len(store) == 7
+    assert store.get("new") == 99
+    assert store.get("k0") == -1
+    assert dict(store.records())["k0"] == -1
+    store.close()
+
+
+def test_point_discard_tombstones_without_unparking(tmp_path):
+    counters = Counters()
+    store = _parked_store(tmp_path, counters)
+    store.discard(canonical_bytes("k1"), "k1")
+    assert all(part is None for part in store._partitions)
+    assert counters.get("point", "state.point_applies") == 1
+    assert not store.contains("k1") and len(store) == 5
+    assert store.get("k1", "gone") == "gone"
+    assert "k1" not in dict(store.records())
+    # Discarding an absent key is a no-op, not a tombstone.
+    store.discard(canonical_bytes("nope"), "nope")
+    assert counters.get("point", "state.point_applies") == 1
+    store.close()
+
+
+def test_point_get_scans_parked_file_without_caching(tmp_path):
+    counters = Counters()
+    store = _parked_store(tmp_path, counters)
+    assert store.get("k2") == 20
+    assert all(part is None for part in store._partitions)
+    assert counters.get("point", "state.point_reads") == 1
+    # Misses answer from the key index without touching the file.
+    assert store.get("nope", -1) == -1
+    assert counters.get("point", "state.point_reads") == 1
+    # Resident reads are direct (no point meter).
+    resident = ResidentStateStore("res", num_partitions=2)
+    resident.load([("a", 1)])
+    assert resident.get("a") == 1
+    store.close()
+
+
+def test_reparking_folds_the_overlay_into_the_file(tmp_path):
+    store = _parked_store(tmp_path)
+    store.put(canonical_bytes("new"), "new", 99)
+    store.discard(canonical_bytes("k0"), "k0")
+    store.park()  # folds the overlay, rewrites the parked files
+    assert all(not overlay for overlay in store._overlay)
+    assert store.get("new") == 99
+    assert store.get("k0", "gone") == "gone"
+    expected = {f"k{i}": i * 10 for i in range(1, 6)}
+    expected["new"] = 99
+    assert dict(store.records()) == expected
+    store.close()
+
+
+def test_point_apply_then_load_partition_sees_overlay(tmp_path):
+    """Loading a partition (e.g. a frontier round visiting it) folds
+    pending point writes in, so rounds and point ops interleave."""
+    store = _parked_store(tmp_path)
+    store.put(canonical_bytes("new"), "new", 99)
+    store.discard(canonical_bytes("k1"), "k1")
+    for index in range(2):
+        part = store.partition(index)  # unpark + fold
+        for key_bytes, (key, value) in part.items():
+            assert store.get(key) == value
+    assert not store.contains("k1")
+    assert store.get("new") == 99
+    store.close()

@@ -15,7 +15,12 @@ from repro.matching import (
     suitor_b_matching,
 )
 
-from ..strategies import small_bipartite_graphs, small_general_graphs
+from ..strategies import (
+    degenerate_bipartite_graphs,
+    degenerate_matching_graphs,
+    small_bipartite_graphs,
+    small_general_graphs,
+)
 
 
 def test_star_matches_greedy():
@@ -97,3 +102,29 @@ def test_proposal_attempts_bounded_by_edges():
     # every attempt consumes a preference-list cursor position; with
     # displacements the total is still O(|E|)
     assert result.rounds <= 2 * g.num_edges + g.num_nodes
+
+
+# -- degenerate-graph equivalence (shared hypothesis strategies) ------------
+# The b-Suitor == greedy theorem holds with no happy-path assumptions:
+# empty graphs, edgeless graphs, b = 0 nodes, isolated nodes, and
+# heavily duplicated weights (where only the strict total edge order
+# keeps the outcome well-defined) must all agree exactly.
+
+
+@given(graph=degenerate_matching_graphs())
+def test_equals_greedy_on_degenerate_general_graphs(graph):
+    suitor = suitor_b_matching(graph)
+    greedy = greedy_b_matching(graph)
+    assert set(suitor.matching) == set(greedy.matching)
+    assert suitor.value == pytest.approx(greedy.value)
+    assert check_matching(
+        graph.capacities(), iter(suitor.matching)
+    ).feasible
+
+
+@given(graph=degenerate_bipartite_graphs())
+def test_equals_greedy_on_degenerate_bipartite_graphs(graph):
+    suitor = suitor_b_matching(graph)
+    greedy = greedy_b_matching(graph)
+    assert set(suitor.matching) == set(greedy.matching)
+    assert suitor.value == pytest.approx(greedy.value)

@@ -1,0 +1,259 @@
+"""The online matcher's contract: incremental == cold batch, always.
+
+The deterministic tests pin the adversarial shapes that break naive
+residual re-convergence (a heavy arrival that must displace an existing
+matched edge; a benched node whose matches must drop; a retirement felt
+two hops away).  The property test then drives seeded synthetic event
+streams through micro-batched flushes across every configured execution
+backend (× the storage/spill env knobs) and asserts the re-converged
+matching is bit-identical to sequential greedy on the mirror's final
+graph — which equals cold-batch GreedyMR by the matching layer's own
+equivalence tests.
+"""
+
+import os
+import random
+import tempfile
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.mapreduce import Counters, LocalDiskFileSystem, MapReduceRuntime
+from repro.mapreduce.state import STATE_POINT_COUNTERS
+from repro.matching import greedy_b_matching, greedy_mr_b_matching
+from repro.service import (
+    SERVICE_COUNTER_GROUP,
+    Arrival,
+    CapacityChange,
+    EdgeArrival,
+    OnlineMatcher,
+    Retirement,
+    synthetic_events,
+)
+
+from ..conftest import BACKENDS, SPILL_THRESHOLD, STORAGE
+
+backend_matrix = pytest.mark.parametrize("backend", BACKENDS)
+
+
+@contextmanager
+def _cell_runtime(backend: str):
+    """A fresh runtime per example (pristine counters, clean tmp)."""
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        if STORAGE == "memory":
+            storage = None
+        else:
+            storage = LocalDiskFileSystem(root=os.path.join(tmp, "dfs"))
+        yield MapReduceRuntime(
+            num_map_tasks=4,
+            num_reduce_tasks=4,
+            counters=Counters(),
+            backend=backend,
+            storage=storage,
+            spill_threshold=SPILL_THRESHOLD,
+            spill_dir=os.path.join(tmp, "spills"),
+        )
+
+
+def _seeded_graph(seed: int, n: int = 8) -> Graph:
+    rng = random.Random(seed)
+    g = Graph()
+    for i in range(n):
+        g.add_node(f"n{i}", rng.randint(1, 3))
+    nodes = sorted(g.nodes())
+    for _ in range(2 * n):
+        u, v = rng.sample(nodes, 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, rng.choice((0.5, 1.0, 2.0, 3.0, 7.0)))
+    return g
+
+
+def _assert_cold_identical(matcher: OnlineMatcher, mirror: Graph):
+    cold = greedy_b_matching(mirror)
+    assert matcher.matching_edges() == sorted(cold.matching.edges())
+    assert matcher.value == pytest.approx(cold.value)
+    identical, cold_value = matcher.verify()
+    assert identical and cold_value == pytest.approx(cold.value)
+
+
+# -- deterministic scenarios ------------------------------------------------
+
+
+def test_bootstrap_matches_cold_batch():
+    g = _seeded_graph(0)
+    with OnlineMatcher(graph=g) as m:
+        _assert_cold_identical(m, g)
+        assert m.num_nodes == g.num_nodes
+        assert m.num_edges == g.num_edges
+
+
+def test_heavy_arrival_displaces_existing_match():
+    # a-b (w=2) is matched at bootstrap; then x arrives with a w=10
+    # edge to a (capacity 1).  Greedy on the final graph matches x-a
+    # and drops a-b: residual state could never produce this (greedy
+    # cannot un-match), so it proves real component recomputation.
+    g = Graph()
+    g.add_node("a", 1)
+    g.add_node("b", 1)
+    g.add_edge("a", "b", 2.0)
+    with OnlineMatcher(graph=g) as m:
+        assert m.matching_edges() == [("a", "b", 2.0)]
+        report = m.flush([Arrival("x", capacity=1, edges=(("a", 10.0),))])
+        assert report.admitted == 1 and not report.rejected
+        assert m.matching_edges() == [("a", "x", 10.0)]
+        assert m.match_lookup("b") == {}
+
+
+def test_benching_drops_matches_without_touching_edges():
+    g = _seeded_graph(1)
+    with OnlineMatcher(graph=g) as m:
+        matched = [n for n in sorted(g.nodes()) if m.match_lookup(n)]
+        node = matched[0]
+        m.flush([CapacityChange(node, 0)])
+        assert m.match_lookup(node) == {}
+        mirror = Graph()
+        for name, cap in g.capacities().items():
+            mirror.add_node(name, 0 if name == node else cap)
+        for e in g.edges():
+            mirror.add_edge(e.u, e.v, e.weight)
+        _assert_cold_identical(m, mirror)
+
+
+def test_retirement_reconverges_former_neighborhood():
+    g = _seeded_graph(2)
+    with OnlineMatcher(graph=g) as m:
+        node = next(iter(sorted(g.nodes(), key=g.degree, reverse=True)))
+        m.flush([Retirement(node)])
+        assert m.match_lookup(node) == {}
+        mirror = Graph()
+        for name, cap in g.capacities().items():
+            if name != node:
+                mirror.add_node(name, cap)
+        for e in g.edges():
+            if node not in (e.u, e.v):
+                mirror.add_edge(e.u, e.v, e.weight)
+        assert m.num_nodes == mirror.num_nodes
+        assert m.num_edges == mirror.num_edges
+        _assert_cold_identical(m, mirror)
+
+
+def test_rejected_event_reports_without_poisoning_batch():
+    g = _seeded_graph(3)
+    with OnlineMatcher(graph=g) as m:
+        report = m.flush(
+            [
+                Arrival("n0"),  # exists: rejected
+                Arrival("fresh", capacity=1, edges=(("n0", 5.0),)),
+                EdgeArrival("fresh", "fresh", 1.0),  # self-loop
+            ]
+        )
+        assert report.admitted == 1
+        assert len(report.rejected) == 2
+        assert "existing node" in report.rejected[0][1]
+        assert "self-loop" in report.rejected[1][1]
+        assert m.graph_store.contains("fresh")
+        counters = m.runtime.counters.group(SERVICE_COUNTER_GROUP)
+        assert counters["events.rejected"] == 2
+        assert counters["events.admitted"] == 1
+
+
+def test_flush_counters_and_report_agree():
+    g = _seeded_graph(4)
+    with OnlineMatcher(graph=g) as m:
+        events, mirror = synthetic_events(g, 9, seed=4)
+        reports = [m.flush(events[i : i + 3]) for i in range(0, 9, 3)]
+        counters = m.runtime.counters.group(SERVICE_COUNTER_GROUP)
+        assert counters["batches.flushed"] == 3
+        assert counters["events.admitted"] == 9
+        assert counters["reconverge.rounds"] == sum(
+            r.rounds for r in reports
+        )
+        # Only event flushes are latency samples (not the bootstrap).
+        assert len(m.flush_seconds) == 3
+        _assert_cold_identical(m, mirror)
+
+
+def test_empty_flush_is_a_noop_round_trip():
+    g = _seeded_graph(5)
+    with OnlineMatcher(graph=g) as m:
+        before = m.matching_edges()
+        report = m.flush([])
+        assert report.admitted == 0 and report.rounds == 0
+        assert m.matching_edges() == before
+
+
+def test_bootstrap_equals_greedy_mr_cold_batch():
+    g = _seeded_graph(6)
+    with OnlineMatcher(graph=g) as m:
+        cold = greedy_mr_b_matching(g)
+        assert m.matching_edges() == sorted(cold.matching.edges())
+
+
+def test_events_on_empty_bootstrap():
+    with OnlineMatcher() as m:
+        assert m.matching_edges() == []
+        m.flush(
+            [
+                Arrival("a", capacity=1),
+                Arrival("b", capacity=1, edges=(("a", 3.0),)),
+            ]
+        )
+        assert m.matching_edges() == [("a", "b", 3.0)]
+        mirror = Graph()
+        mirror.add_node("a", 1)
+        mirror.add_node("b", 1)
+        mirror.add_edge("a", "b", 3.0)
+        _assert_cold_identical(m, mirror)
+
+
+def test_snapshot_shape():
+    g = _seeded_graph(7)
+    with OnlineMatcher(graph=g) as m:
+        snap = m.snapshot()
+        assert snap["nodes"] == g.num_nodes
+        assert snap["candidate_edges"] == g.num_edges
+        assert snap["matched_edges"] == len(snap["matching"])
+        assert snap["value"] == pytest.approx(m.value)
+        assert snap["counters"]["bootstrap.rounds"] >= 1
+
+
+def test_parked_graph_store_serves_admission_via_point_ops():
+    """Past the spill threshold the graph store parks between flushes
+    and per-event admission flows through the single-key apply path —
+    the point counters must fire and bit-identity must still hold."""
+    runtime = MapReduceRuntime(spill_threshold=2, counters=Counters())
+    g = _seeded_graph(8, n=10)
+    with OnlineMatcher(runtime=runtime, graph=g) as m:
+        events, mirror = synthetic_events(g, 30, seed=8)
+        for i in range(0, 30, 5):
+            m.flush(events[i : i + 5])
+        _assert_cold_identical(m, mirror)
+        group = runtime.counters.group(m.graph_store.name)
+        for name in STATE_POINT_COUNTERS:
+            assert group.get(name, 0) > 0, name
+
+
+# -- the property: incremental == cold batch, across the matrix -------------
+
+
+@backend_matrix
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    batch=st.integers(min_value=1, max_value=5),
+)
+def test_incremental_equals_cold_batch_matrix(seed, batch, backend):
+    """Any seeded event stream, any batching, any backend × storage:
+    the re-converged matching equals sequential greedy on the final
+    mirror graph (hence cold-batch GreedyMR, by the matching layer's
+    equivalence tests)."""
+    graph = _seeded_graph(seed, n=6)
+    events, mirror = synthetic_events(graph, 10, seed=seed)
+    with _cell_runtime(backend) as runtime:
+        with OnlineMatcher(runtime=runtime, graph=graph) as m:
+            for start in range(0, len(events), batch):
+                report = m.flush(events[start : start + batch])
+                assert not report.rejected
+            _assert_cold_identical(m, mirror)

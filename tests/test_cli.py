@@ -365,3 +365,51 @@ def test_missing_command_rejected():
 def test_unknown_dataset_rejected():
     with pytest.raises(SystemExit):
         main(["generate", "imdb", "--out", "/tmp/x"])
+
+
+def test_serve_streams_events_and_verifies(corpus_dir, capsys):
+    code = main(
+        [
+            "serve",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--events",
+            "24",
+            "--batch-size",
+            "8",
+            "--max-delay-ms",
+            "20",
+            "--seed",
+            "5",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "events admitted" in out
+    assert "coalescing x" in out
+    assert "latency: p50=" in out
+    assert "cold-batch check: identical" in out
+
+
+def test_serve_accepts_cluster_options(corpus_dir, capsys):
+    code = main(
+        [
+            "serve",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--events",
+            "12",
+            "--backend",
+            "threads",
+            "--fs",
+            "disk",
+            "--spill-threshold",
+            "8",
+            "--no-verify",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "cold-batch check" not in out
