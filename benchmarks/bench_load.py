@@ -1,0 +1,363 @@
+"""Closed-loop load harness: Zipf traffic, tail latency, p99 gates.
+
+The serving benchmark (``bench_serving.py``) measures the coalescing
+win on a *uniform* event stream.  This harness measures the shape a
+content site actually sees: ``repro.telemetry.loadgen.zipf_events``
+generates a seeded stream whose non-arrival events target Zipf-ranked
+hot nodes, and ``run_load`` drives the :class:`MatchingService` closed
+loop, measuring every event's submit→converged latency on the event
+loop clock.  Recorded to ``benchmarks/BENCH_serving.json`` under the
+``load`` / ``load_quick`` keys:
+
+* **reproducibility proof** — ``events_digest`` fingerprints the event
+  stream; the CI gate fails if the same seed stops producing the same
+  stream (the "same seed → same events" contract);
+* **deterministic meters**, gated strictly like the other BENCH gates:
+  incremental shuffled records and flush count are pure functions of
+  the seeded workload (unpaced submission + a generous ``max_delay``
+  make flush boundaries a function of ``max_batch`` alone);
+* **tail latency + throughput**, gated *loosely*: p99 latency and
+  achieved throughput are wall-clock, so the gate only fails on a
+  blow-up (default 5x, ``REPRO_LOAD_LATENCY_TOLERANCE`` overrides) —
+  catching a superlinear regression without flaking on a loaded
+  runner.
+
+``--metrics-port`` exposes the runtime's metrics registry (plus
+``service.metrics()``) over HTTP *during* the run — the CI job curls
+``/metrics`` mid-run as the scrape smoke — and ``--linger-seconds``
+keeps the endpoint up after the run until one external scrape lands
+(or the linger times out), so the curl always has a live target.
+
+Before anything is recorded, the incremental matching is asserted
+bit-identical to a cold batch on the final graph, same as every other
+serving measurement.
+
+Usage::
+
+    python benchmarks/bench_load.py                # full run
+    python benchmarks/bench_load.py --quick        # CI smoke scale
+    python benchmarks/bench_load.py --write        # update JSON
+    python benchmarks/bench_load.py --quick --check-regression
+    python benchmarks/bench_load.py --quick --metrics-port 9109 \\
+        --linger-seconds 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if REPO_SRC not in sys.path:  # runnable without an installed package
+    sys.path.insert(0, REPO_SRC)
+
+from repro.datasets import load_dataset  # noqa: E402
+from repro.mapreduce import Counters, MapReduceRuntime  # noqa: E402
+from repro.service import MatchingService, OnlineMatcher  # noqa: E402
+from repro.telemetry import MetricsExporter  # noqa: E402
+from repro.telemetry.loadgen import (  # noqa: E402
+    events_digest,
+    run_load,
+    zipf_events,
+)
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_serving.json"
+)
+
+#: Wall-clock gate slack: measured p99 may be up to this factor above
+#: the committed baseline (and throughput this factor below) before
+#: the gate fails.  Wide on purpose — the gate exists to catch
+#: blow-ups, not scheduler jitter on a loaded CI runner.
+DEFAULT_LATENCY_TOLERANCE = 5.0
+
+
+def bench_load(
+    scale: float,
+    sigma: float,
+    events: int,
+    batch: int,
+    seed: int,
+    skew: float,
+    rate: Optional[float],
+    metrics_port: Optional[int] = None,
+    linger_seconds: float = 0.0,
+) -> Dict:
+    dataset = load_dataset("flickr-small", seed=1, scale=scale)
+    graph = dataset.graph(sigma=sigma, alpha=2.0)
+    stream, _ = zipf_events(graph, events, seed=seed, skew=skew)
+    digest = events_digest(stream)
+
+    runtime = MapReduceRuntime(counters=Counters())
+    matcher = OnlineMatcher(runtime=runtime, graph=graph)
+    after_bootstrap = runtime.counters.get("runtime", "shuffle.records")
+    # Unpaced runs rely on max_batch alone deciding flush boundaries,
+    # so max_delay is effectively infinite; paced runs flush stragglers
+    # after half a second like bench_serving.
+    service = MatchingService(
+        matcher, max_batch=batch, max_delay=(0.5 if rate else 60.0)
+    )
+
+    exporter = None
+    scrapes_before_linger = 0
+    if metrics_port is not None:
+        exporter = MetricsExporter(
+            registry=runtime.metrics,
+            extra_metrics=service.metrics,
+            port=metrics_port,
+        ).start()
+        print(
+            f"metrics endpoint: {exporter.url}/metrics "
+            f"(JSON at /metrics.json)"
+        )
+
+    async def drive():
+        async with service:
+            report = await run_load(service, stream, offered_rate=rate)
+            identical, cold_value = matcher.verify()
+            final_edges = matcher.matching_edges()
+        return report, identical, cold_value, final_edges
+
+    try:
+        report, identical, cold_value, final_edges = asyncio.run(drive())
+        if exporter is not None:
+            scrapes_before_linger = exporter.scrape_count
+            if linger_seconds > 0:
+                print(
+                    f"lingering up to {linger_seconds:.0f}s for one "
+                    "external scrape..."
+                )
+                exporter.wait_for_scrapes(
+                    scrapes_before_linger + 1, linger_seconds
+                )
+    finally:
+        if exporter is not None:
+            exporter.stop()
+    assert identical, (
+        "incremental re-convergence diverged from the cold batch — "
+        "refusing to record a benchmark of a wrong answer"
+    )
+    metrics = report.service_metrics
+    incremental_shuffled = (
+        runtime.counters.get("runtime", "shuffle.records")
+        - after_bootstrap
+    )
+    summary = report.summary()
+    return {
+        "workload": (
+            "flickr-small zipf live stream (closed-loop load harness)"
+        ),
+        "scale": scale,
+        "sigma": sigma,
+        "seed": seed,
+        "zipf_skew": skew,
+        "events": events,
+        "batch_size": batch,
+        "offered_rate_events_per_s": rate or 0.0,
+        "events_digest": digest,
+        "nodes": len(graph.capacities()),
+        "edges": graph.num_edges,
+        "matched_edges": len(final_edges),
+        "matching_value": round(cold_value, 2),
+        "batches_flushed": int(metrics["batches_flushed"]),
+        "coalescing_ratio": round(metrics["coalescing_ratio"], 2),
+        "reconverge_rounds": int(metrics["reconverge_rounds"]),
+        # Per-event submit->converged latency (includes coalescing
+        # wait) — the client-observed numbers, unlike bench_serving's
+        # per-flush engine latency.
+        "latency_p50_ms": round(summary["latency_p50_ms"], 3),
+        "latency_p95_ms": round(summary["latency_p95_ms"], 3),
+        "latency_p99_ms": round(summary["latency_p99_ms"], 3),
+        "achieved_events_per_s": round(
+            summary["achieved_events_per_s"], 1
+        ),
+        "flushes_per_sec": round(metrics["flushes_per_sec"], 2),
+        "incremental_shuffled_records": incremental_shuffled,
+    }
+
+
+def _latency_tolerance() -> float:
+    raw = os.environ.get("REPRO_LOAD_LATENCY_TOLERANCE", "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_LATENCY_TOLERANCE
+    return value if value > 1.0 else DEFAULT_LATENCY_TOLERANCE
+
+
+def check_regression(results: Dict, key: str) -> int:
+    """Gate against the committed baseline; exit 1 on regression.
+
+    Deterministic meters (event-stream digest, shuffled records, flush
+    count) are checked strictly; wall-clock meters (p99 latency,
+    achieved throughput) only against the wide tolerance factor.
+    """
+    if not os.path.exists(BENCH_JSON):
+        print(f"no committed baseline at {BENCH_JSON}; nothing to check")
+        return 0
+    with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+        committed = json.load(handle)
+    baseline = committed.get(key)
+    if not baseline:
+        print(f"committed baseline has no {key} row; skipping")
+        return 0
+    measured = results[key]
+    failures = []
+
+    if measured["events_digest"] != baseline.get("events_digest"):
+        failures.append(
+            "event stream digest changed: same seed no longer "
+            f"produces the same events ({measured['events_digest']} "
+            f"vs committed {baseline.get('events_digest')})"
+        )
+    for name in ("batches_flushed", "incremental_shuffled_records"):
+        if name in baseline and measured[name] != baseline[name]:
+            failures.append(
+                f"deterministic meter {name} changed: "
+                f"{measured[name]} vs committed {baseline[name]}"
+            )
+
+    factor = _latency_tolerance()
+    base_p99 = baseline.get("latency_p99_ms", 0.0)
+    if base_p99 and measured["latency_p99_ms"] > base_p99 * factor:
+        failures.append(
+            f"p99 latency blew up: {measured['latency_p99_ms']:.1f}ms "
+            f"vs committed {base_p99:.1f}ms (ceiling {factor:.1f}x)"
+        )
+    base_rate = baseline.get("achieved_events_per_s", 0.0)
+    if base_rate and (
+        measured["achieved_events_per_s"] < base_rate / factor
+    ):
+        failures.append(
+            "throughput collapsed: "
+            f"{measured['achieved_events_per_s']:.1f} ev/s vs "
+            f"committed {base_rate:.1f} ev/s (floor 1/{factor:.1f}x)"
+        )
+
+    print(
+        f"regression check [{key}]: digest {measured['events_digest']} "
+        f"| flushes {measured['batches_flushed']} | shuffled "
+        f"{measured['incremental_shuffled_records']} | p99 "
+        f"{measured['latency_p99_ms']:.1f}ms (ceiling "
+        f"{base_p99 * factor:.1f}ms) | throughput "
+        f"{measured['achieved_events_per_s']:.1f} ev/s"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller graph and stream (the CI smoke configuration)",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--sigma", type=float, default=2.0)
+    parser.add_argument("--events", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="Zipf exponent over node ranks (0 = uniform; default 1.1)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="EV_PER_S",
+        help="offered event rate for paced (open-loop) arrivals; "
+        "default: unpaced, which keeps flush boundaries deterministic "
+        "for the gate",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose the metrics registry on 127.0.0.1:PORT during "
+        "the run (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--linger-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="after the run, keep the metrics endpoint up until one "
+        "external scrape lands or S seconds pass (for the CI curl)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help=f"update {os.path.basename(BENCH_JSON)} with the results",
+    )
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="compare against the committed JSON; exit 1 when the "
+        "event stream digest or a deterministic meter changed, or "
+        "p99/throughput blew past the wall-clock tolerance",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale or (0.08 if args.quick else 0.25)
+    events = args.events or (48 if args.quick else 192)
+
+    key = "load_quick" if args.quick else "load"
+    row = bench_load(
+        scale,
+        args.sigma,
+        events,
+        args.batch_size,
+        args.seed,
+        args.skew,
+        args.rate,
+        metrics_port=args.metrics_port,
+        linger_seconds=args.linger_seconds,
+    )
+    results = {key: row}
+    print(
+        f"load: {row['events']} zipf events (skew {row['zipf_skew']}) "
+        f"in {row['batches_flushed']} flushes "
+        f"(coalescing x{row['coalescing_ratio']:.1f}), digest "
+        f"{row['events_digest']}"
+    )
+    print(
+        f"{'':6s}latency p50 {row['latency_p50_ms']:.1f}ms / "
+        f"p95 {row['latency_p95_ms']:.1f}ms / "
+        f"p99 {row['latency_p99_ms']:.1f}ms, "
+        f"{row['achieved_events_per_s']:,.0f} ev/s achieved, "
+        f"{row['incremental_shuffled_records']} records shuffled"
+    )
+    if args.write:
+        recorded: Dict = {}
+        if os.path.exists(BENCH_JSON):
+            try:
+                with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+                    recorded = json.load(handle)
+            except ValueError:
+                recorded = {}
+        recorded.update(results)
+        with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+            json.dump(recorded, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-> {BENCH_JSON}")
+    if args.check_regression:
+        return check_regression(results, key)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,9 @@ instance, then streams a seeded synthetic event workload through the
 asyncio facade's micro-batching and records the numbers to
 ``benchmarks/BENCH_serving.json``:
 
-* **serving meters** — coalescing ratio (events per flush), p50/p95
-  re-convergence latency, and event throughput, straight from the
-  service's always-on counters;
+* **serving meters** — coalescing ratio (events per flush),
+  p50/p95/p99 re-convergence latency, flush rate, and event
+  throughput, straight from the service's always-on counters;
 * the **shuffle ratio** the CI smoke gates on: total records a
   batch-only system would shuffle re-running cold GreedyMR after every
   admitted event (the freshness the service actually provides — every
@@ -134,9 +134,11 @@ def bench_serving(
         "reconverge_rounds": int(metrics["reconverge_rounds"]),
         "latency_p50_ms": round(metrics["latency_p50_ms"], 3),
         "latency_p95_ms": round(metrics["latency_p95_ms"], 3),
+        "latency_p99_ms": round(metrics["latency_p99_ms"], 3),
         "throughput_events_per_s": round(
             metrics["throughput_events_per_s"], 1
         ),
+        "flushes_per_sec": round(metrics["flushes_per_sec"], 2),
         "incremental_shuffled_records": incremental_shuffled,
         "cold_per_event_shuffled_records": cold_per_event_shuffled,
         "cold_per_batch_shuffled_records": cold_per_batch_shuffled,
@@ -217,7 +219,8 @@ def main(argv=None) -> int:
         f"serving: {row['events']} events in {row['batches_flushed']} "
         f"flushes (coalescing x{row['coalescing_ratio']:.1f}), "
         f"p50 {row['latency_p50_ms']:.1f}ms / "
-        f"p95 {row['latency_p95_ms']:.1f}ms, "
+        f"p95 {row['latency_p95_ms']:.1f}ms / "
+        f"p99 {row['latency_p99_ms']:.1f}ms, "
         f"{row['throughput_events_per_s']:,.0f} ev/s"
     )
     print(

@@ -97,6 +97,44 @@ def _profile_summary(runtime: Optional[MapReduceRuntime]) -> str:
     )
 
 
+def _serve_profile_summary(runtime: MapReduceRuntime) -> str:
+    """The serving variant of ``--profile``: cumulative across flushes.
+
+    The phase gauges live on the runtime's metrics registry and
+    accumulate over *every* flush's re-convergence jobs (the registry
+    is the source of truth — nothing resets between flushes), and the
+    matcher meters its admit/re-converge stages into the same registry,
+    so the report covers the whole serving session including the
+    earliest flushes.
+    """
+    admit = runtime.metrics.gauge("service", "admit_seconds").value
+    reconverge = runtime.metrics.gauge(
+        "service", "reconverge_seconds"
+    ).value
+    return (
+        _profile_summary(runtime)
+        + "\n"
+        + f"flush stages (cumulative over all flushes): "
+        f"admit {admit:.3f}s | reconverge {reconverge:.3f}s"
+    )
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A :class:`~repro.telemetry.Tracer` when ``--trace`` was given."""
+    if not getattr(args, "trace", None):
+        return None
+    from .telemetry import Tracer
+
+    return Tracer()
+
+
+def _finish_trace(args: argparse.Namespace, tracer) -> None:
+    if tracer is None:
+        return
+    count = tracer.export(args.trace)
+    print(f"span log: {count} spans -> {args.trace}")
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     os.makedirs(args.out, exist_ok=True)
@@ -142,11 +180,14 @@ def _load_corpus(directory: str):
 def _cmd_join(args: argparse.Namespace) -> int:
     items, consumers, _ = _load_corpus(args.corpus)
     runtime = None
+    tracer = None
     if args.method == "mapreduce":
+        tracer = _make_tracer(args)
         runtime = MapReduceRuntime(
             backend=args.backend,
             storage=args.fs,
             spill_threshold=args.spill_threshold,
+            tracer=tracer,
         )
     start = time.perf_counter()
     edges = candidate_edges(
@@ -167,6 +208,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(spill)
     if args.profile:
         print(_profile_summary(runtime))
+    _finish_trace(args, tracer)
     if runtime is not None and runtime.storage == "disk":
         print(f"dfs root: {runtime.filesystem.root}")
     return 0
@@ -194,6 +236,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         kwargs["epsilon"] = args.epsilon
         kwargs["seed"] = args.seed
     runtime = None
+    tracer = None
     if "_mr" in args.algorithm:
         # Only the MapReduce adaptations take a simulated cluster; the
         # centralized solvers ignore the backend/storage choices.  On
@@ -207,10 +250,12 @@ def _cmd_match(args: argparse.Namespace) -> int:
                 "--no-delta (the full-state drivers keep round state "
                 "driver-side); --spill-threshold still applies"
             )
+        tracer = _make_tracer(args)
         runtime = MapReduceRuntime(
             backend=args.backend,
             storage=args.fs,
             spill_threshold=args.spill_threshold,
+            tracer=tracer,
         )
         kwargs["runtime"] = runtime
         kwargs["delta"] = args.delta
@@ -232,6 +277,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print(spill)
     if args.profile:
         print(_profile_summary(runtime))
+    _finish_trace(args, tracer)
     if args.capacities_out:
         write_capacities(args.capacities_out, graph.capacities())
     return 0
@@ -267,10 +313,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     graph = dataset.graph(sigma=args.sigma, alpha=args.alpha)
     events, _ = synthetic_events(graph, args.events, seed=args.seed)
+    tracer = _make_tracer(args)
     runtime = MapReduceRuntime(
         backend=args.backend,
         storage=args.fs,
         spill_threshold=args.spill_threshold,
+        tracer=tracer,
     )
     matcher = OnlineMatcher(runtime=runtime, graph=graph)
     service = MatchingService(
@@ -278,6 +326,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.batch_size,
         max_delay=args.max_delay_ms / 1000.0,
     )
+    exporter = None
+    if args.metrics_port is not None:
+        from .telemetry import MetricsExporter
+
+        exporter = MetricsExporter(
+            registry=runtime.metrics,
+            extra_metrics=service.metrics,
+            port=args.metrics_port,
+        ).start()
+        print(
+            f"metrics endpoint: {exporter.url}/metrics "
+            f"(JSON at /metrics.json)"
+        )
 
     async def drive():
         # Verification must run before close() releases the resident
@@ -291,7 +352,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return snap, check
 
     start = time.perf_counter()
-    snapshot, verification = asyncio.run(drive())
+    try:
+        snapshot, verification = asyncio.run(drive())
+    finally:
+        if exporter is not None:
+            exporter.stop()
     elapsed = time.perf_counter() - start
     metrics = service.metrics()
     print(
@@ -310,14 +375,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"latency: p50={metrics['latency_p50_ms']:.1f}ms "
         f"p95={metrics['latency_p95_ms']:.1f}ms "
+        f"p99={metrics['latency_p99_ms']:.1f}ms "
         f"throughput={metrics['throughput_events_per_s']:,.0f} ev/s "
+        f"flushes/s={metrics['flushes_per_sec']:,.1f} "
         f"rounds={metrics['reconverge_rounds']:.0f}"
     )
     spill = _spill_summary(runtime)
     if spill:
         print(spill)
     if args.profile:
-        print(_profile_summary(runtime))
+        print(_serve_profile_summary(runtime))
+    _finish_trace(args, tracer)
     if verification is not None:
         identical, cold_value = verification
         status = "identical" if identical else "MISMATCH"
@@ -327,6 +395,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if not identical:
             return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a span log (written via ``--trace``) as a timing tree."""
+    from .telemetry import load_spans, render_spans
+
+    spans = load_spans(args.span_log)
+    if not spans:
+        print(f"{args.span_log}: no spans recorded")
+        return 0
+    print(render_spans(spans, max_tasks_per_parent=args.max_tasks))
     return 0
 
 
@@ -389,6 +469,14 @@ def _add_cluster_options(
         help="print per-phase wall-clock (map/shuffle/spill/reduce) "
         "accumulated over every MapReduce job of the run "
         f"({applies_to})",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a job->phase->task span tree for every MapReduce "
+        "job of the run and write it as a JSON span log to PATH "
+        f"(render it with 'repro trace PATH'; {applies_to})",
     )
 
 
@@ -487,9 +575,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="check the final incremental matching against a cold "
         "batch on the final graph (default on; exits 1 on mismatch)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the metrics registry over HTTP on 127.0.0.1:PORT "
+        "while events stream: Prometheus text format at /metrics, "
+        "JSON at /metrics.json (0 picks an ephemeral port)",
+    )
     _add_cluster_options(serve, "all re-convergences")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a JSON span log written by --trace as an "
+        "indented timing tree",
+    )
+    trace.add_argument(
+        "span_log", help="path written by 'repro ... --trace PATH'"
+    )
+    trace.add_argument(
+        "--max-tasks",
+        type=int,
+        default=4,
+        metavar="N",
+        help="show at most N task spans per parent, eliding the rest "
+        "into a summary line (default 4)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     experiment = sub.add_parser(
         "experiment", help="reproduce the paper's tables and figures"
@@ -506,7 +621,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed early (`repro trace ... | head`); exit
+        # quietly without a traceback, devnull-ing stdout so the
+        # interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

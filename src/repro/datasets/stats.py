@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..telemetry.metrics import percentile
+
 __all__ = ["Histogram", "log_histogram", "tail_summary"]
 
 Bin = Tuple[float, float, int]
@@ -73,23 +75,21 @@ def tail_summary(values: Sequence[float]) -> Dict[str, float]:
 
     ``top1_share`` (fraction of total mass held by the top 1% of
     values) is the skew statistic used to compare flickr-small versus
-    flickr-large capacity distributions.
+    flickr-large capacity distributions.  Quantiles use the shared
+    nearest-rank :func:`~repro.telemetry.metrics.percentile` — the
+    same convention as the serving latency percentiles.
     """
     ordered = sorted(values)
     n = len(ordered)
     if n == 0:
         return {}
     total = sum(ordered)
-
-    def quantile(q: float) -> float:
-        return ordered[min(int(q * n), n - 1)]
-
     top1 = ordered[int(0.99 * n) :]
     return {
         "min": ordered[0],
-        "p50": quantile(0.50),
-        "p90": quantile(0.90),
-        "p99": quantile(0.99),
+        "p50": percentile(ordered, 0.50),
+        "p90": percentile(ordered, 0.90),
+        "p99": percentile(ordered, 0.99),
         "max": ordered[-1],
         "mean": total / n,
         "top1_share": (sum(top1) / total) if total else 0.0,

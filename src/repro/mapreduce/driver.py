@@ -157,11 +157,19 @@ class IterativeDriver(Generic[State]):
             self.store = None
 
     def iterate(self, step: RoundFunction, initial: State) -> State:
-        """Run ``step`` until it reports completion and return the state."""
+        """Run ``step`` until it reports completion and return the state.
+
+        When the runtime carries a tracer, every round runs inside a
+        ``round:<name>:<n>`` span, so each round's jobs (and their
+        phase/task spans) nest under it in the span log.
+        """
         state = initial
         for round_number in range(self.max_rounds):
             jobs_before = self.runtime.jobs_executed
-            state, done = step(state, round_number)
+            with self.runtime._span(
+                f"round:{self.name}:{round_number}", kind="round"
+            ):
+                state, done = step(state, round_number)
             self.rounds_completed = round_number + 1
             self.jobs_per_round.append(
                 self.runtime.jobs_executed - jobs_before

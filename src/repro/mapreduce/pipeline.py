@@ -151,20 +151,30 @@ class Pipeline:
         self.validate()
         last_output: Optional[str] = None
         for stage in self.stages:
-            records = self.filesystem.read_many(stage.inputs)
-            side = (
-                stage.side_data(self.filesystem)
-                if stage.side_data is not None
-                else None
-            )
-            stream = self.runtime.run_iter(
-                stage.job, records, side_data=side
-            )
-            self.filesystem.write(stage.output, stream, overwrite=True)
-            self.records_out[stage.output] = self.filesystem.du(
-                stage.output
-            ).records
-            last_output = stage.output
+            # A stage span wraps the job's whole lifecycle, including
+            # streaming the reduce output into the filesystem — the
+            # write cost belongs to the stage, not to any phase.
+            with self.runtime._span(
+                f"stage:{stage.job.name}",
+                kind="stage",
+                output=stage.output,
+            ):
+                records = self.filesystem.read_many(stage.inputs)
+                side = (
+                    stage.side_data(self.filesystem)
+                    if stage.side_data is not None
+                    else None
+                )
+                stream = self.runtime.run_iter(
+                    stage.job, records, side_data=side
+                )
+                self.filesystem.write(
+                    stage.output, stream, overwrite=True
+                )
+                self.records_out[stage.output] = self.filesystem.du(
+                    stage.output
+                ).records
+                last_output = stage.output
         if last_output is None:
             return []
         return self.filesystem.read(last_output)

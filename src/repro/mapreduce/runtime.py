@@ -71,12 +71,26 @@ driver-side.
 Profiling
 ---------
 
-Per-phase wall-clock accumulates in :attr:`MapReduceRuntime.
-phase_timings` (``map`` / ``shuffle`` / ``reduce`` / ``spill``
-seconds, across all jobs run by the instance).  Timings are a
-diagnostic meter — deliberately kept out of :class:`Counters`, whose
-totals are part of the bit-identical determinism contract.  The CLI
-surfaces them via ``repro join/match --profile``.
+Per-phase wall-clock accumulates in the runtime's
+:class:`~repro.telemetry.metrics.MetricsRegistry` as ``runtime``
+gauges (``phase.map_seconds`` etc.), still readable as a plain dict
+via :attr:`MapReduceRuntime.phase_timings` (``map`` / ``shuffle`` /
+``reduce`` / ``spill`` seconds, across all jobs run by the instance).
+Timings are a diagnostic meter — gauges (and the volatile per-job
+timing histograms alongside them) are deliberately kept out of
+:class:`Counters`, whose totals are part of the bit-identical
+determinism contract; :func:`~repro.mapreduce.state.
+strip_volatile_counters` drops them from registry snapshots.  The CLI
+surfaces them via ``repro join/match/serve --profile``.
+
+Alongside the counters, the registry carries *deterministic*
+histograms of data-dependent per-task quantities (map/reduce output
+records per task), observed driver-side in task-index order — their
+bucket totals join the bit-identical contract.  Attaching a
+:class:`~repro.telemetry.trace.Tracer` (the ``tracer`` argument, or
+``--trace`` on the CLI) additionally records a ``job → phase → task``
+span tree, with per-task wall-clock measured inside the task wrapper
+so the same spans come back from every backend.
 
 Determinism contract: the runtime collects task results and merges
 task-local counters *in task-index order*, so outputs, ``job_log``, and
@@ -93,6 +107,7 @@ from __future__ import annotations
 
 import pickle
 import time
+from contextlib import nullcontext
 from operator import itemgetter
 from typing import (
     Any,
@@ -106,6 +121,11 @@ from typing import (
     Tuple,
 )
 
+from ..telemetry.metrics import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    TIMING_BUCKETS,
+)
 from .counters import Counters
 from .errors import JobValidationError
 from .executors import Executor, resolve_executor
@@ -201,6 +221,12 @@ class MapReduceRuntime:
     spill_dir:
         Parent directory for spill runs (default: the system temporary
         directory).
+    tracer:
+        Optional :class:`~repro.telemetry.trace.Tracer`.  When set,
+        every job records a ``job → phase → task`` span tree (per-task
+        wall-clock measured inside the picklable task wrapper, so all
+        backends report comparably).  ``None`` (default) keeps the
+        instrumentation sites zero-cost.
     """
 
     def __init__(
@@ -216,6 +242,7 @@ class MapReduceRuntime:
         storage: Any = None,
         spill_threshold: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        tracer: Any = None,
     ) -> None:
         if num_map_tasks < 1 or num_reduce_tasks < 1:
             raise JobValidationError("task counts must be positive")
@@ -239,15 +266,77 @@ class MapReduceRuntime:
         self.jobs_executed = 0
         self.job_log: List[str] = []
         self._state_store_sequence = 0
-        #: Accumulated wall-clock seconds per phase across every job
-        #: this runtime has run.  A diagnostic meter (``repro ...
-        #: --profile``); never part of the counter determinism contract.
-        self.phase_timings: Dict[str, float] = {
-            "map": 0.0,
-            "shuffle": 0.0,
-            "reduce": 0.0,
-            "spill": 0.0,
+        #: The unified metrics registry: wraps this runtime's counters
+        #: (same instance — every counter contract carries over) and
+        #: adds gauges for phase wall-clock plus histograms for
+        #: per-task record distributions.
+        self.metrics = MetricsRegistry(counters=self.counters)
+        #: Optional :class:`~repro.telemetry.trace.Tracer`; ``None``
+        #: (the default) keeps every instrumentation site zero-cost.
+        self.tracer = tracer
+
+    _PHASES = ("map", "shuffle", "reduce", "spill")
+
+    @property
+    def phase_timings(self) -> Dict[str, float]:
+        """Accumulated wall-clock seconds per phase across every job
+        this runtime has run, as a plain dict.
+
+        A read-only view over the registry's ``runtime`` gauges
+        (``phase.<name>_seconds``) — the gauges are the source of
+        truth, so any holder of the registry (the serving layer's
+        cumulative ``--profile``, the metrics endpoint) sees the same
+        accumulation.  A diagnostic meter; never part of the counter
+        determinism contract.
+        """
+        return {
+            phase: self.metrics.gauge(
+                "runtime", f"phase.{phase}_seconds"
+            ).value
+            for phase in self._PHASES
         }
+
+    def _meter_phase(self, phase: str, seconds: float) -> None:
+        """Accumulate one job's phase wall-clock: cumulative gauge plus
+        a volatile per-job timing distribution."""
+        self.metrics.gauge("runtime", f"phase.{phase}_seconds").add(
+            seconds
+        )
+        self.metrics.observe(
+            "runtime",
+            f"phase.{phase}_seconds_dist",
+            seconds,
+            TIMING_BUCKETS,
+            volatile=True,
+        )
+
+    def _span(self, name: str, kind: str, **attrs: Any):
+        """A tracer span when tracing is on, else a no-op context."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, kind=kind, **attrs)
+
+    def _run_tasks(
+        self, fn: Callable, tasks: List[Tuple], label: str
+    ) -> List[Any]:
+        """Dispatch task units, recording per-task spans when tracing.
+
+        The timing wrapper runs *inside* the task (picklable, so the
+        processes backend measures the same way), and leaf spans are
+        recorded driver-side in task-index order under whichever span
+        is currently open.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return self.executor.run_tasks(fn, tasks)
+        timed = self.executor.run_tasks(
+            _timed_call, [(fn,) + tuple(task) for task in tasks]
+        )
+        results: List[Any] = []
+        for index, (seconds, result) in enumerate(timed):
+            tracer.record(f"{label}-{index}", kind="task", seconds=seconds)
+            results.append(result)
+        return results
 
     @property
     def backend(self) -> str:
@@ -295,24 +384,36 @@ class MapReduceRuntime:
         job.configure(side_data)
         splits = self._split_input(records)
         spiller = self._make_spiller()
-        try:
-            partitions = self._map_and_shuffle(job, splits, spiller)
-            started = time.perf_counter()
-            # The external shuffle hands each partition over already
-            # merge-sorted, so the reduce tasks skip their sort.
-            results = self.executor.run_tasks(
-                _execute_reduce_task,
-                [
-                    (job, partition, spiller is not None)
-                    for partition in partitions
-                ],
+        with self._span(f"job:{job.name}", kind="job"):
+            try:
+                partitions = self._map_and_shuffle(job, splits, spiller)
+                started = time.perf_counter()
+                with self._span(
+                    "phase:reduce", kind="phase", tasks=len(partitions)
+                ):
+                    # The external shuffle hands each partition over
+                    # already merge-sorted, so the reduce tasks skip
+                    # their sort.
+                    results = self._run_tasks(
+                        _execute_reduce_task,
+                        [
+                            (job, partition, spiller is not None)
+                            for partition in partitions
+                        ],
+                        label="reduce",
+                    )
+                self._meter_phase(
+                    "reduce", time.perf_counter() - started
+                )
+            finally:
+                self._close_spiller(spiller)
+            reduce_hist = self.metrics.histogram(
+                "runtime", "task.reduce_output_records", COUNT_BUCKETS
             )
-            self.phase_timings["reduce"] += time.perf_counter() - started
-        finally:
-            self._close_spiller(spiller)
-        for _, task_counters in results:
-            self.counters.merge(task_counters)
-        self._finish_job(job)
+            for task_output, task_counters in results:
+                self.counters.merge(task_counters)
+                reduce_hist.observe(len(task_output))
+            self._finish_job(job)
 
         def stream() -> Iterator[KeyValue]:
             for index in range(len(results)):
@@ -417,65 +518,82 @@ class MapReduceRuntime:
         splits = self._split_input(records)
         resident_before = len(store)
         spiller = self._make_spiller()
-        try:
-            partitions = self._map_and_shuffle(
-                job, splits, spiller, scan=scan
-            )
-            started = time.perf_counter()
-            # Frontier rounds touch only the partitions that received
-            # messages: a message-less partition has no groups to
-            # visit, so its state partition is never loaded (a parked
-            # one stays parked on disk) and no task is dispatched.
-            # Scan rounds dispatch every partition; on the spill path
-            # the spiller's routing counts stand in for the lazy
-            # partition streams, which cannot be emptiness-tested.
-            # Which partitions carry messages is decided by the
-            # deterministic partitioner, so the skip is identical
-            # across backends, filesystems, and spill thresholds.
-            def has_messages(index: int) -> bool:
-                if spiller is not None:
-                    return spiller.partition_records[index] > 0
-                return bool(partitions[index])
-
-            tasks = [
-                (
-                    job,
-                    partitions[index],
-                    store.partition(index),
-                    spiller is not None,
-                    scan,
+        with self._span(
+            f"job:{job.name}",
+            kind="job",
+            mode="scan" if scan else "frontier",
+        ):
+            try:
+                partitions = self._map_and_shuffle(
+                    job, splits, spiller, scan=scan
                 )
-                for index in range(self.num_reduce_tasks)
-                if scan or has_messages(index)
-            ]
-            results = self.executor.run_tasks(
-                _execute_stateful_reduce_task, tasks
+                started = time.perf_counter()
+                # Frontier rounds touch only the partitions that
+                # received messages: a message-less partition has no
+                # groups to visit, so its state partition is never
+                # loaded (a parked one stays parked on disk) and no
+                # task is dispatched.  Scan rounds dispatch every
+                # partition; on the spill path the spiller's routing
+                # counts stand in for the lazy partition streams,
+                # which cannot be emptiness-tested.  Which partitions
+                # carry messages is decided by the deterministic
+                # partitioner, so the skip is identical across
+                # backends, filesystems, and spill thresholds.
+                def has_messages(index: int) -> bool:
+                    if spiller is not None:
+                        return spiller.partition_records[index] > 0
+                    return bool(partitions[index])
+
+                tasks = [
+                    (
+                        job,
+                        partitions[index],
+                        store.partition(index),
+                        spiller is not None,
+                        scan,
+                    )
+                    for index in range(self.num_reduce_tasks)
+                    if scan or has_messages(index)
+                ]
+                with self._span(
+                    "phase:reduce", kind="phase", tasks=len(tasks)
+                ):
+                    results = self._run_tasks(
+                        _execute_stateful_reduce_task,
+                        tasks,
+                        label="reduce",
+                    )
+                self._meter_phase(
+                    "reduce", time.perf_counter() - started
+                )
+            finally:
+                self._close_spiller(spiller)
+            output: List[KeyValue] = []
+            updates: List[Tuple[bytes, Any, Any]] = []
+            reduce_hist = self.metrics.histogram(
+                "runtime", "task.reduce_output_records", COUNT_BUCKETS
             )
-            self.phase_timings["reduce"] += time.perf_counter() - started
-        finally:
-            self._close_spiller(spiller)
-        output: List[KeyValue] = []
-        updates: List[Tuple[bytes, Any, Any]] = []
-        for task_output, task_updates, task_counters in results:
-            self.counters.merge(task_counters)
-            output.extend(task_output)
-            updates.extend(task_updates)
-        next_deltas, changed = self._apply_updates(store, updates)
-        store.maybe_park()
-        group = job.name
-        for target in (group, "runtime"):
-            self.counters.increment(
-                target, "iteration.resident_records", resident_before
-            )
-            self.counters.increment(
-                target, "iteration.delta_records", changed
-            )
-            self.counters.increment(
-                target,
-                "iteration.quiescent_records",
-                max(0, resident_before - changed),
-            )
-        self._finish_job(job)
+            for task_output, task_updates, task_counters in results:
+                self.counters.merge(task_counters)
+                reduce_hist.observe(len(task_output))
+                output.extend(task_output)
+                updates.extend(task_updates)
+            next_deltas, changed = self._apply_updates(store, updates)
+            store.maybe_park()
+            group = job.name
+            for target in (group, "runtime"):
+                self.counters.increment(
+                    target, "iteration.resident_records", resident_before
+                )
+                self.counters.increment(
+                    target, "iteration.delta_records", changed
+                )
+                self.counters.increment(
+                    target,
+                    "iteration.quiescent_records",
+                    max(0, resident_before - changed),
+                )
+            self._finish_job(job)
         return output, next_deltas
 
     # -- shared job scaffolding --------------------------------------------
@@ -496,7 +614,7 @@ class MapReduceRuntime:
 
     def _close_spiller(self, spiller: Optional[ExternalShuffle]) -> None:
         if spiller is not None:
-            self.phase_timings["spill"] += spiller.spill_seconds
+            self._meter_phase("spill", spiller.spill_seconds)
             spiller.close()
 
     def _map_and_shuffle(
@@ -508,11 +626,13 @@ class MapReduceRuntime:
     ) -> List[Any]:
         """The timed map phase followed by the timed shuffle."""
         started = time.perf_counter()
-        intermediate = self._run_map_phase(job, splits, scan=scan)
-        self.phase_timings["map"] += time.perf_counter() - started
+        with self._span("phase:map", kind="phase", tasks=len(splits)):
+            intermediate = self._run_map_phase(job, splits, scan=scan)
+        self._meter_phase("map", time.perf_counter() - started)
         started = time.perf_counter()
-        partitions = self._shuffle(job, intermediate, spiller)
-        self.phase_timings["shuffle"] += time.perf_counter() - started
+        with self._span("phase:shuffle", kind="phase"):
+            partitions = self._shuffle(job, intermediate, spiller)
+        self._meter_phase("shuffle", time.perf_counter() - started)
         return partitions
 
     def _finish_job(self, job: MapReduceJob) -> None:
@@ -588,16 +708,21 @@ class MapReduceRuntime:
         ``scan=None`` runs the plain ``job.map``; ``True``/``False``
         select the stateful plane's ``map_resident``/``map_delta``.
         """
-        results = self.executor.run_tasks(
+        results = self._run_tasks(
             _execute_map_task,
             [
                 (job, split, self.speculative_execution, scan)
                 for split in splits
             ],
+            label="map",
+        )
+        map_hist = self.metrics.histogram(
+            "runtime", "task.map_output_records", COUNT_BUCKETS
         )
         intermediate: List[List[EncodedRecord]] = []
         for emitted, task_counters in results:
             self.counters.merge(task_counters)
+            map_hist.observe(len(emitted))
             intermediate.append(emitted)
         return intermediate
 
@@ -720,6 +845,18 @@ class MapReduceRuntime:
 # Module-level functions (not methods) so the processes backend can
 # pickle them by reference.  Each returns ``(records, Counters)``; the
 # runtime merges the counters in task-index order.
+
+
+def _timed_call(fn: Callable, *args: Any) -> Tuple[float, Any]:
+    """Run a task unit and measure its wall-clock inside the worker.
+
+    Used only when a tracer is attached: measuring inside the (still
+    picklable) wrapper means serial, thread, and process backends all
+    report the task's own execution time, not dispatch overhead.
+    """
+    started = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - started, result
 
 
 def _execute_map_task(

@@ -81,9 +81,44 @@ def strip_volatile_counters(snapshot: dict) -> dict:
     for a fixed delta mode, counter totals are bit-identical across
     executors, filesystems, and spill thresholds once the
     threshold-dependent counters are stripped.
+
+    Accepts either a plain :class:`Counters` snapshot or a full
+    :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot (the
+    ``counters`` / ``gauges`` / ``histograms`` shape).  For the
+    latter, the counter section is stripped as before, the gauge
+    section is dropped wholesale (gauges are wall-clock meters, always
+    volatile), and histograms flagged ``volatile`` (per-job timing
+    distributions) are dropped while the deterministic record-count
+    histograms are kept — so the bit-identical property tests keep
+    passing with timing metrics enabled, and the contract extends to
+    histogram bucket totals.
     """
+    if _is_registry_snapshot(snapshot):
+        histograms = {}
+        for group, names in snapshot.get("histograms", {}).items():
+            kept = {
+                name: hist
+                for name, hist in names.items()
+                if not hist.get("volatile")
+            }
+            if kept:
+                histograms[group] = kept
+        return {
+            "counters": strip_volatile_counters(
+                snapshot.get("counters", {})
+            ),
+            "histograms": histograms,
+        }
     return strip_spill_counters(
         snapshot, extra=STATE_SPILL_COUNTERS + STATE_POINT_COUNTERS
+    )
+
+
+def _is_registry_snapshot(snapshot: dict) -> bool:
+    """A registry snapshot has the three fixed sections; a counter
+    snapshot maps group names to ``name -> int`` dicts."""
+    return set(snapshot) <= {"counters", "gauges", "histograms"} and (
+        "gauges" in snapshot or "histograms" in snapshot
     )
 
 

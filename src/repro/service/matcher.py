@@ -60,6 +60,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from ..graph import Graph
 from ..mapreduce import MapReduceRuntime, canonical_bytes
 from ..mapreduce.errors import RoundLimitExceeded
+from ..telemetry.metrics import TIMING_BUCKETS
 from ..matching.greedy_mr import GreedyDeltaNode, GreedyDeltaRoundJob
 from .events import (
     Arrival,
@@ -124,10 +125,18 @@ class OnlineMatcher:
         #: records it already fetched (cleared at flush end to keep the
         #: driver's footprint bounded by the affected neighborhood).
         self._cache: Dict[str, Optional[NodeRecord]] = {}
-        #: Wall-clock seconds of every event-batch flush, in order
-        #: (diagnostic, like ``phase_timings`` — never part of the
-        #: determinism contract).
-        self.flush_seconds: List[float] = []
+        #: Wall-clock of every event-batch flush, as a volatile
+        #: sample-keeping histogram on the runtime's registry
+        #: (diagnostic, like the phase gauges — never part of the
+        #: determinism contract).  ``flush_seconds`` below exposes the
+        #: raw samples in flush order.
+        self._flush_hist = self.runtime.metrics.histogram(
+            SERVICE_COUNTER_GROUP,
+            "flush_seconds",
+            TIMING_BUCKETS,
+            volatile=True,
+            keep_samples=True,
+        )
         bootstrap = plain_graph(graph)
         if bootstrap.num_nodes:
             self._num_edges = bootstrap.num_edges
@@ -183,18 +192,29 @@ class OnlineMatcher:
         rejected: List[Tuple[Event, str]] = []
         seeds: Set[str] = set()
         retired: Set[str] = set()
-        for event in events:
-            try:
-                seeds |= self._admit(event, retired)
-            except EventError as exc:
-                rejected.append((event, str(exc)))
-                continue
-            admitted += 1
-        affected = self._affected(seeds)
-        rounds = self._reconverge(affected, retired)
-        self._end_flush()
+        with self.runtime._span("flush", kind="flush", events=len(events)):
+            stage_started = time.perf_counter()
+            with self.runtime._span("admit", kind="stage"):
+                for event in events:
+                    try:
+                        seeds |= self._admit(event, retired)
+                    except EventError as exc:
+                        rejected.append((event, str(exc)))
+                        continue
+                    admitted += 1
+            self._stage_gauge("admit").add(
+                time.perf_counter() - stage_started
+            )
+            stage_started = time.perf_counter()
+            with self.runtime._span("reconverge", kind="stage"):
+                affected = self._affected(seeds)
+                rounds = self._reconverge(affected, retired)
+            self._stage_gauge("reconverge").add(
+                time.perf_counter() - stage_started
+            )
+            self._end_flush()
         seconds = time.perf_counter() - started
-        self.flush_seconds.append(seconds)
+        self._flush_hist.observe(seconds)
         self._meter("events.admitted", admitted)
         self._meter("events.rejected", len(rejected))
         self._meter("batches.flushed", 1)
@@ -376,6 +396,23 @@ class OnlineMatcher:
         self.runtime.counters.increment(
             SERVICE_COUNTER_GROUP, name, value
         )
+
+    def _stage_gauge(self, stage: str):
+        """Cumulative wall-clock gauge for one flush stage.
+
+        Accumulates across *all* flushes on the runtime's registry, so
+        ``repro serve --profile`` can report admit/re-converge seconds
+        for the whole session, not just the last flush.
+        """
+        return self.runtime.metrics.gauge(
+            SERVICE_COUNTER_GROUP, f"{stage}_seconds"
+        )
+
+    @property
+    def flush_seconds(self) -> List[float]:
+        """Wall-clock seconds of every flush, in order (the histogram's
+        retained samples — kept for exact percentiles)."""
+        return list(self._flush_hist.samples or ())
 
     # -- queries -----------------------------------------------------------
 

@@ -25,9 +25,9 @@ library, driven by ``asyncio.run`` in tests and the CLI.
 from __future__ import annotations
 
 import asyncio
-import math
 from typing import Dict, Iterable, List, Optional, Set
 
+from ..telemetry.metrics import latency_summary_ms
 from .events import Event
 from .matcher import SERVICE_COUNTER_GROUP, FlushReport, OnlineMatcher
 
@@ -165,27 +165,34 @@ class MatchingService:
         """Always-on serving meters (see ``BENCH_serving.json``).
 
         Coalescing ratio is events admitted per flush; latency
-        percentiles are over per-flush re-convergence wall-clock.
+        percentiles (p50/p95/p99 — the tail matters under skewed
+        traffic) are over per-flush re-convergence wall-clock, computed
+        by the shared nearest-rank helper
+        (:func:`~repro.telemetry.metrics.percentile`).
+        ``flushes_per_sec`` and ``throughput_events_per_s`` are rates
+        over *busy* time (the sum of flush wall-clock), so they measure
+        the engine, not the arrival gaps.
         """
         counters = self.matcher.runtime.counters.group(
             SERVICE_COUNTER_GROUP
         )
-        latencies = sorted(self.matcher.flush_seconds)
+        latencies = self.matcher.flush_seconds
         admitted = counters.get("events.admitted", 0)
         flushed = counters.get("batches.flushed", 0)
         busy = sum(latencies)
-        return {
+        report: Dict[str, float] = {
             "events_admitted": admitted,
             "events_rejected": counters.get("events.rejected", 0),
             "batches_flushed": flushed,
             "coalescing_ratio": admitted / flushed if flushed else 0.0,
             "reconverge_rounds": counters.get("reconverge.rounds", 0),
-            "latency_p50_ms": _percentile(latencies, 0.50) * 1000.0,
-            "latency_p95_ms": _percentile(latencies, 0.95) * 1000.0,
             "throughput_events_per_s": (
                 admitted / busy if busy > 0 else 0.0
             ),
+            "flushes_per_sec": flushed / busy if busy > 0 else 0.0,
         }
+        report.update(latency_summary_ms(latencies))
+        return report
 
     async def close(self) -> None:
         """Drain, reject further submissions, release the matcher."""
@@ -201,11 +208,3 @@ class MatchingService:
 
     async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
-
-
-def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[min(rank, len(sorted_values)) - 1]

@@ -1,0 +1,478 @@
+"""The unified metrics registry: counters, gauges, fixed-bucket histograms.
+
+The paper's efficiency story is told in meters — MapReduce rounds,
+``O(|E|)`` shuffled records per job — and until this module those meters
+were scattered: :class:`~repro.mapreduce.counters.Counters` knew only
+integers, the runtime's phase timings were a bare dict, and the serving
+layer hand-rolled its latency percentiles.  :class:`MetricsRegistry`
+gives every layer one vocabulary:
+
+* **counters** — monotone integers with pure-merge semantics (delegated
+  to any object with the :class:`~repro.mapreduce.counters.Counters`
+  API, so the runtime's existing counter instance *is* the registry's
+  counter store and every established contract carries over unchanged);
+* **gauges** — float accumulators for wall-clock meters (phase seconds,
+  flush-stage seconds).  Gauges are *always volatile*: they never
+  participate in the bit-identical determinism contract, exactly like
+  the ``phase_timings`` dict they replace;
+* **histograms** — fixed-bucket distributions with the same pure-merge
+  semantics as counters: bucket counts are plain integer additions,
+  commutative and associative, so merged totals are identical across
+  execution backends and independent of task completion order
+  (property-tested in ``tests/telemetry/test_metrics.py``).  A
+  histogram may be flagged ``volatile=True`` (timing distributions,
+  stripped by ``strip_volatile_counters`` alongside the spill counters)
+  and may ``keep_samples`` for exact percentiles (the serving layer's
+  flush-latency list lives here).
+
+Determinism contract.  Deterministic (non-volatile) histograms observe
+only *data-dependent* quantities — record counts, never seconds — and
+the runtime observes them driver-side in task-index order, so registry
+snapshots minus the volatile sections are bit-identical across
+backends, filesystems, and spill thresholds, extending the counter
+contract to distributions.
+
+This module imports nothing from the rest of the package (the runtime
+imports *it*), so it can be threaded through any layer without cycles.
+
+:func:`percentile` is the one nearest-rank implementation shared by the
+serving metrics, the load harness, and the distribution stats — the
+three layers that previously each hand-rolled their own.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIMING_BUCKETS",
+    "latency_summary_ms",
+    "percentile",
+]
+
+#: Default bucket upper bounds for wall-clock histograms, in seconds
+#: (Prometheus-style decades from 1ms to 10s; +Inf is implicit).
+TIMING_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default bucket upper bounds for record-count histograms (1-2-5
+#: decades; +Inf is implicit).  Counts are data-dependent, so these
+#: histograms may participate in the determinism contract.
+COUNT_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 when empty).
+
+    The single implementation behind the serving metrics' p50/p95/p99,
+    the load harness, and the dataset tail summaries.  ``values`` need
+    not be sorted; pass ``q`` in ``[0, 1]``.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def latency_summary_ms(seconds: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 of a seconds sample, in milliseconds.
+
+    The shape every serving surface reports (``MatchingService.
+    metrics()``, the load harness, ``BENCH_serving.json``).
+    """
+    ordered = sorted(seconds)
+    return {
+        "latency_p50_ms": percentile(ordered, 0.50) * 1000.0,
+        "latency_p95_ms": percentile(ordered, 0.95) * 1000.0,
+        "latency_p99_ms": percentile(ordered, 0.99) * 1000.0,
+    }
+
+
+class Gauge:
+    """A float meter: ``set`` for levels, ``add`` for accumulators.
+
+    Gauges are wall-clock-shaped (phase seconds, queue depths) and are
+    therefore always volatile — :func:`~repro.mapreduce.state.
+    strip_volatile_counters` drops the whole gauge section before any
+    bit-identical comparison.  ``merge`` adds values (accumulator
+    semantics), keeping registry merges commutative.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value (levels: queue depth, liveness)."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Accumulate into the gauge (meters: seconds spent per phase)."""
+        self.value += delta
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in by addition (accumulator semantics)."""
+        self.value += other.value
+
+    def __getstate__(self) -> float:
+        return self.value
+
+    def __setstate__(self, state: float) -> None:
+        self.value = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value!r})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with pure-merge semantics.
+
+    Parameters
+    ----------
+    upper_bounds:
+        Ascending bucket upper bounds (``le`` semantics: bucket ``i``
+        counts observations ``<= upper_bounds[i]``); an overflow
+        (``+Inf``) bucket is implicit.  Buckets are fixed at creation —
+        merging requires identical bounds, which is what makes bucket
+        totals pure integer additions (commutative, associative,
+        deterministic under the runtime's task-index merge order).
+    volatile:
+        ``True`` for wall-clock distributions: stripped by
+        ``strip_volatile_counters`` before bit-identical comparisons,
+        like the spill counters.  Count-valued histograms stay
+        ``False`` and join the determinism contract.
+    keep_samples:
+        Retain every raw observation (in observe/merge order) so
+        :meth:`percentile` is exact instead of bucket-quantized.  Used
+        for the serving flush-latency sample, which is small; leave off
+        for per-record distributions.
+    """
+
+    __slots__ = (
+        "upper_bounds",
+        "bucket_counts",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "volatile",
+        "samples",
+    )
+
+    def __init__(
+        self,
+        upper_bounds: Sequence[float] = TIMING_BUCKETS,
+        volatile: bool = False,
+        keep_samples: bool = False,
+    ) -> None:
+        bounds = tuple(float(b) for b in upper_bounds)
+        if not bounds:
+            raise ValueError("histograms need at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly ascending: {bounds}"
+            )
+        self.upper_bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.volatile = volatile
+        self.samples: Optional[List[float]] = [] if keep_samples else None
+
+    def spec(self) -> Tuple:
+        """The identity a merge partner must match."""
+        return (self.upper_bounds, self.volatile, self.samples is not None)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.upper_bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if self.samples is not None:
+            self.samples.append(value)
+
+    def merge(self, other: "Histogram") -> None:
+        """Add another histogram's buckets into this one.
+
+        Bucket counts and ``count`` are integer additions — commutative
+        and associative, so totals are independent of merge order.
+        ``total`` is a float sum: deterministic under a deterministic
+        merge order (the runtime merges task results in task-index
+        order), bit-identical only then.
+        """
+        if self.spec() != other.spec():
+            raise ValueError(
+                f"cannot merge histograms with different specs: "
+                f"{self.spec()} vs {other.spec()}"
+            )
+        for index, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket
+        self.count += other.count
+        self.total += other.total
+        for value in (other.minimum,):
+            if value is not None and (
+                self.minimum is None or value < self.minimum
+            ):
+                self.minimum = value
+        for value in (other.maximum,):
+            if value is not None and (
+                self.maximum is None or value > self.maximum
+            ):
+                self.maximum = value
+        if self.samples is not None and other.samples is not None:
+            self.samples.extend(other.samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile: exact over kept samples, else the
+        upper bound of the bucket holding the rank (the overflow bucket
+        reports the observed maximum)."""
+        if self.samples is not None:
+            return percentile(self.samples, q)
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= rank:
+                if index < len(self.upper_bounds):
+                    return self.upper_bounds[index]
+                break
+        return self.maximum if self.maximum is not None else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict export (what the exporter and tests consume)."""
+        return {
+            "le": list(self.upper_bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "volatile": self.volatile,
+        }
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "upper_bounds": self.upper_bounds,
+            "bucket_counts": self.bucket_counts,
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "volatile": self.volatile,
+            "samples": self.samples,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, sum={self.total:.6g}, "
+            f"buckets={len(self.upper_bounds)}, "
+            f"volatile={self.volatile})"
+        )
+
+
+class _SimpleCounters:
+    """Minimal stand-in when no external counter store is supplied.
+
+    Implements exactly the :class:`~repro.mapreduce.counters.Counters`
+    surface the registry relies on, without importing it (this module
+    must stay import-cycle-free — the mapreduce layer imports us).
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Dict[str, int]] = {}
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        names = self._groups.setdefault(group, {})
+        names[name] = names.get(name, 0) + amount
+
+    def get(self, group: str, name: str) -> int:
+        return self._groups.get(group, {}).get(name, 0)
+
+    def group(self, group: str) -> Dict[str, int]:
+        return dict(self._groups.get(group, {}))
+
+    def merge(self, other: Any) -> None:
+        for group, names in other.snapshot().items():
+            mine = self._groups.setdefault(group, {})
+            for name, value in names.items():
+                mine[name] = mine.get(name, 0) + value
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {g: dict(names) for g, names in self._groups.items()}
+
+
+class MetricsRegistry:
+    """One ``group -> name`` namespace over all three metric kinds.
+
+    Parameters
+    ----------
+    counters:
+        Optional external counter store (any object with the
+        :class:`~repro.mapreduce.counters.Counters` API).  The runtime
+        passes its own instance, so ``registry.increment`` and the
+        legacy ``runtime.counters.increment`` are the *same* counters —
+        migration without a parallel universe.
+    """
+
+    def __init__(self, counters: Any = None) -> None:
+        self.counters = counters if counters is not None else _SimpleCounters()
+        self._gauges: Dict[Tuple[str, str], Gauge] = {}
+        self._histograms: Dict[Tuple[str, str], Histogram] = {}
+
+    # -- counters (delegation) ---------------------------------------------
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Increment a counter (delegates to the counter store)."""
+        self.counters.increment(group, name, amount)
+
+    def get(self, group: str, name: str) -> int:
+        """Read a counter (0 if never incremented)."""
+        return self.counters.get(group, name)
+
+    # -- gauges ------------------------------------------------------------
+
+    def gauge(self, group: str, name: str) -> Gauge:
+        """The gauge for ``(group, name)``, created on first use."""
+        key = (group, name)
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge()
+        return gauge
+
+    # -- histograms --------------------------------------------------------
+
+    def histogram(
+        self,
+        group: str,
+        name: str,
+        upper_bounds: Sequence[float] = TIMING_BUCKETS,
+        volatile: bool = False,
+        keep_samples: bool = False,
+    ) -> Histogram:
+        """The histogram for ``(group, name)``, created on first use.
+
+        A second caller must agree on the spec (bounds / volatility /
+        sample retention) — silently divergent buckets would make the
+        pure-merge guarantee meaningless.
+        """
+        key = (group, name)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(
+                upper_bounds, volatile=volatile, keep_samples=keep_samples
+            )
+            return histogram
+        requested = (
+            tuple(float(b) for b in upper_bounds),
+            volatile,
+            keep_samples,
+        )
+        if histogram.spec() != requested:
+            raise ValueError(
+                f"histogram {group}.{name} already registered with "
+                f"spec {histogram.spec()}, requested {requested}"
+            )
+        return histogram
+
+    def observe(
+        self,
+        group: str,
+        name: str,
+        value: float,
+        upper_bounds: Sequence[float] = TIMING_BUCKETS,
+        volatile: bool = False,
+        keep_samples: bool = False,
+    ) -> None:
+        """Shorthand: fetch-or-create the histogram and observe once."""
+        self.histogram(
+            group,
+            name,
+            upper_bounds,
+            volatile=volatile,
+            keep_samples=keep_samples,
+        ).observe(value)
+
+    # -- merge + export ----------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (counters, gauges, histograms).
+
+        Counter and bucket totals are commutative by construction;
+        callers who need bit-identical float sums must merge in a
+        deterministic order, as the runtime does for task results.
+        """
+        self.counters.merge(other.counters)
+        for key, gauge in other._gauges.items():
+            self.gauge(*key).merge(gauge)
+        for (group, name), histogram in other._histograms.items():
+            mine = self.histogram(
+                group,
+                name,
+                histogram.upper_bounds,
+                volatile=histogram.volatile,
+                keep_samples=histogram.samples is not None,
+            )
+            mine.merge(histogram)
+
+    def gauges(self) -> Iterator[Tuple[str, str, Gauge]]:
+        """Iterate ``(group, name, gauge)``, sorted."""
+        for group, name in sorted(self._gauges):
+            yield group, name, self._gauges[(group, name)]
+
+    def histograms(self) -> Iterator[Tuple[str, str, Histogram]]:
+        """Iterate ``(group, name, histogram)``, sorted."""
+        for group, name in sorted(self._histograms):
+            yield group, name, self._histograms[(group, name)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Export everything as plain nested dictionaries.
+
+        The shape (``counters`` / ``gauges`` / ``histograms`` sections)
+        is what :func:`~repro.mapreduce.state.strip_volatile_counters`
+        recognizes to strip the volatile parts before bit-identical
+        comparisons.
+        """
+        gauges: Dict[str, Dict[str, float]] = {}
+        for group, name, gauge in self.gauges():
+            gauges.setdefault(group, {})[name] = gauge.value
+        histograms: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        for group, name, histogram in self.histograms():
+            histograms.setdefault(group, {})[name] = histogram.snapshot()
+        return {
+            "counters": self.counters.snapshot(),
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )

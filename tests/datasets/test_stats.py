@@ -48,7 +48,10 @@ def test_tail_summary_quantiles():
     summary = tail_summary(list(range(1, 101)))
     assert summary["min"] == 1
     assert summary["max"] == 100
-    assert summary["p50"] == 51
+    # Nearest-rank (the shared telemetry percentile): rank 50 of 100.
+    assert summary["p50"] == 50
+    assert summary["p90"] == 90
+    assert summary["p99"] == 99
     assert summary["mean"] == pytest.approx(50.5)
     assert 0 < summary["top1_share"] < 1
 

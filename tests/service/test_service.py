@@ -34,7 +34,9 @@ METRIC_KEYS = {
     "reconverge_rounds",
     "latency_p50_ms",
     "latency_p95_ms",
+    "latency_p99_ms",
     "throughput_events_per_s",
+    "flushes_per_sec",
 }
 
 
@@ -175,8 +177,14 @@ def test_metrics_shape_and_sanity():
     asyncio.run(drive())
     metrics = service.metrics()
     assert set(metrics) == METRIC_KEYS
-    assert metrics["latency_p95_ms"] >= metrics["latency_p50_ms"] > 0
+    assert (
+        metrics["latency_p99_ms"]
+        >= metrics["latency_p95_ms"]
+        >= metrics["latency_p50_ms"]
+        > 0
+    )
     assert metrics["throughput_events_per_s"] > 0
+    assert metrics["flushes_per_sec"] > 0
     assert metrics["reconverge_rounds"] >= 1
 
 

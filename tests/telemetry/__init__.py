@@ -1,0 +1,1 @@
+"""Tests for the telemetry plane: registry, spans, exporter, loadgen."""

@@ -413,3 +413,127 @@ def test_serve_accepts_cluster_options(corpus_dir, capsys):
     out = capsys.readouterr().out
     assert code == 0, out
     assert "cold-batch check" not in out
+
+
+def test_serve_metrics_endpoint_matches_service_metrics(
+    corpus_dir, capsys
+):
+    import socket
+    import threading
+    import time
+    import urllib.request
+
+    # The CLI tears the exporter down before returning, so scrape from
+    # a thread polling a pre-picked port while the stream is driven.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    captured = {}
+
+    def scraper(stop):
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and not stop.is_set():
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics.json", timeout=2
+                ) as response:
+                    captured["scrape"] = json.loads(response.read())
+                return
+            except OSError:
+                time.sleep(0.02)
+
+    stop = threading.Event()
+    thread = threading.Thread(target=scraper, args=(stop,))
+    thread.start()
+    try:
+        code = main(
+            [
+                "serve",
+                corpus_dir,
+                "--sigma",
+                "2.0",
+                "--events",
+                "24",
+                "--batch-size",
+                "8",
+                "--max-delay-ms",
+                "20",
+                "--seed",
+                "5",
+                "--metrics-port",
+                str(port),
+            ]
+        )
+    finally:
+        stop.set()
+        thread.join(timeout=30)
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert f"metrics endpoint: http://127.0.0.1:{port}/metrics" in out
+    scrape = captured.get("scrape")
+    assert scrape is not None, "scraper thread never reached /metrics.json"
+    # The scrape carries the same registry the CLI reports from.
+    assert "runtime" in scrape["registry"]["counters"]
+    assert scrape["service"]["events_admitted"] >= 0
+
+
+def test_serve_trace_exports_flush_spans(corpus_dir, tmp_path, capsys):
+    span_log = str(tmp_path / "spans.json")
+    code = main(
+        [
+            "serve",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--events",
+            "12",
+            "--batch-size",
+            "4",
+            "--seed",
+            "5",
+            "--trace",
+            span_log,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "span log:" in out
+    from repro.telemetry import load_spans
+
+    spans = load_spans(span_log)
+    kinds = {span.kind for span in spans}
+    assert {"flush", "stage", "job", "phase", "task"} <= kinds
+    names = {span.name for span in spans}
+    assert {"admit", "reconverge"} <= names
+
+    # And the trace renders.
+    code = main(["trace", span_log, "--max-tasks", "2"])
+    rendered = capsys.readouterr().out
+    assert code == 0
+    assert "flush (flush)" in rendered
+    assert "admit (stage)" in rendered
+
+
+def test_join_trace_subcommand_roundtrip(corpus_dir, tmp_path, capsys):
+    span_log = str(tmp_path / "join-spans.json")
+    code = main(
+        [
+            "join",
+            corpus_dir,
+            "--sigma",
+            "2.0",
+            "--method",
+            "mapreduce",
+            "--trace",
+            span_log,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "span log:" in out
+    code = main(["trace", span_log])
+    rendered = capsys.readouterr().out
+    assert code == 0
+    assert "(job)" in rendered
+    assert "phase:map (phase)" in rendered
+    assert "more tasks" in rendered or "(task)" in rendered
