@@ -188,6 +188,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
             storage=args.fs,
             spill_threshold=args.spill_threshold,
             tracer=tracer,
+            retry_policy=_make_retry_policy(args),
         )
     start = time.perf_counter()
     edges = candidate_edges(
@@ -256,6 +257,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
             storage=args.fs,
             spill_threshold=args.spill_threshold,
             tracer=tracer,
+            retry_policy=_make_retry_policy(args),
         )
         kwargs["runtime"] = runtime
         kwargs["delta"] = args.delta
@@ -319,6 +321,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         storage=args.fs,
         spill_threshold=args.spill_threshold,
         tracer=tracer,
+        retry_policy=_make_retry_policy(args),
     )
     matcher = OnlineMatcher(runtime=runtime, graph=graph)
     service = MatchingService(
@@ -395,6 +398,150 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if not identical:
             return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Deterministic chaos smoke over the whole recovery plane.
+
+    For every fault-plan seed: run a b-matching workload on a runtime
+    with injected task crashes / straggler delays / transient storage
+    errors and a retry budget, and check the result, job log, and
+    volatile-stripped counters are bit-identical to the fault-free
+    run; then stream a synthetic event batch through an
+    :class:`~repro.service.OnlineMatcher` under mid-flush faults and
+    poisoned admissions and check the cold-batch verification.  Exits
+    1 on any divergence — or if a seed injected nothing (a chaos run
+    that can't fail proves nothing).
+    """
+    import random
+
+    from .graph import Graph
+    from .mapreduce import (
+        FaultPlan,
+        RetryPolicy,
+        strip_volatile_counters,
+    )
+    from .service import OnlineMatcher, synthetic_events
+
+    def build_graph() -> Graph:
+        rng = random.Random(args.seed)
+        graph = Graph()
+        items = [f"i{k}" for k in range(args.nodes)]
+        consumers = [f"c{k}" for k in range(args.nodes)]
+        for node in items + consumers:
+            graph.add_node(node, rng.randint(1, 3))
+        for u in items:
+            for v in rng.sample(consumers, min(3, len(consumers))):
+                graph.add_edge(u, v, round(rng.uniform(0.1, 5.0), 3))
+        return graph
+
+    def make_runtime(**kwargs) -> MapReduceRuntime:
+        return MapReduceRuntime(
+            backend=args.backend,
+            storage=args.fs,
+            spill_threshold=args.spill_threshold,
+            **kwargs,
+        )
+
+    def exercise_storage(runtime: MapReduceRuntime) -> List:
+        """A read/write burst through the (possibly faulty) filesystem."""
+        outputs = []
+        for index in range(8):
+            path = f"/chaos/dataset-{index}"
+            runtime.filesystem.write(
+                path, [(k, k * index) for k in range(4)], overwrite=True
+            )
+            outputs.append(runtime.filesystem.read(path))
+        return outputs
+
+    graph = build_graph()
+    policy = RetryPolicy(
+        max_attempts=args.max_task_attempts or 3,
+        task_timeout=args.task_timeout,
+    )
+    seeds = [int(token) for token in args.seeds.split(",") if token]
+
+    baseline_rt = make_runtime()
+    baseline_data = exercise_storage(baseline_rt)
+    baseline = solve(graph, "greedy_mr", runtime=baseline_rt, delta=True)
+    baseline_counters = strip_volatile_counters(
+        baseline_rt.counters.snapshot()
+    )
+    failures = 0
+    for seed in seeds:
+        with FaultPlan(
+            seed=seed,
+            crash_rate=args.crash_rate,
+            delay_rate=args.delay_rate,
+            delay_seconds=0.0,
+            io_rate=args.io_rate,
+        ) as plan:
+            runtime = make_runtime(retry_policy=policy, fault_plan=plan)
+            data = exercise_storage(runtime)
+            result = solve(
+                graph, "greedy_mr", runtime=runtime, delta=True
+            )
+            faults = runtime.counters.group("faults")
+            injected = faults.get("injected_total", 0)
+            identical = (
+                data == baseline_data
+                and sorted(result.matching.edges())
+                == sorted(baseline.matching.edges())
+                and runtime.job_log == baseline_rt.job_log
+                and strip_volatile_counters(
+                    runtime.counters.snapshot()
+                )
+                == baseline_counters
+            )
+        status = "bit-identical" if identical else "DIVERGED"
+        if not identical or injected == 0:
+            failures += 1
+            if injected == 0:
+                status += " (but zero faults injected)"
+        print(
+            f"runtime seed {seed}: {status} — injected {injected} "
+            f"(crashes {faults.get('injected_crash', 0)}, "
+            f"delays {faults.get('injected_delay', 0)}, "
+            f"io {faults.get('injected_io', 0)}), "
+            f"task retries {faults.get('task.retries', 0)}, "
+            f"storage retries {faults.get('storage.retries', 0)}"
+        )
+
+    events, _ = synthetic_events(graph, args.events, seed=args.seed)
+    for seed in seeds:
+        with FaultPlan(
+            seed=seed,
+            flush_rate=args.flush_rate,
+            poison_rate=args.poison_rate,
+        ) as plan:
+            runtime = make_runtime(retry_policy=policy, fault_plan=plan)
+            matcher = OnlineMatcher(runtime=runtime, graph=graph)
+            for start in range(0, len(events), 8):
+                matcher.flush(list(events[start : start + 8]))
+            identical, _ = matcher.verify()
+            faults = runtime.counters.group("faults")
+            injected = faults.get("injected_total", 0)
+            matcher.close()
+        status = "verified" if identical else "MISMATCH"
+        if not identical or injected == 0:
+            failures += 1
+            if injected == 0:
+                status += " (but zero faults injected)"
+        print(
+            f"service seed {seed}: {status} — injected {injected} "
+            f"(flush {faults.get('injected_flush', 0)}, "
+            f"poison {faults.get('injected_poison', 0)}), "
+            f"flush retries {faults.get('flush.retries', 0)}, "
+            f"dead-lettered {faults.get('events.dead_lettered', 0)}"
+        )
+    if failures:
+        print(f"chaos: {failures} run(s) diverged or injected nothing")
+        return 1
+    print(
+        f"chaos: all {2 * len(seeds)} runs recovered bit-identically "
+        f"under injected faults"
+    )
     return 0
 
 
@@ -477,6 +624,40 @@ def _add_cluster_options(
         help="record a job->phase->task span tree for every MapReduce "
         "job of the run and write it as a JSON span log to PATH "
         f"(render it with 'repro trace PATH'; {applies_to})",
+    )
+    parser.add_argument(
+        "--max-task-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry failed task attempts, storage operations, and "
+        "flushes up to N total attempts each (default 1: no retries; "
+        "failed attempts discard their counters, so totals stay "
+        f"bit-identical; {applies_to})",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="straggler mitigation on parallel backends: tasks still "
+        "running after SECONDS get a speculative backup attempt and "
+        f"the first finisher wins ({applies_to})",
+    )
+
+
+def _make_retry_policy(args: argparse.Namespace):
+    """A :class:`~repro.mapreduce.faults.RetryPolicy` from the CLI
+    recovery knobs, or ``None`` when both are unset."""
+    attempts = getattr(args, "max_task_attempts", None)
+    timeout = getattr(args, "task_timeout", None)
+    if attempts is None and timeout is None:
+        return None
+    from .mapreduce import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=attempts if attempts is not None else 1,
+        task_timeout=timeout,
     )
 
 
@@ -587,6 +768,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_options(serve, "all re-convergences")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection smoke: inject seeded "
+        "crashes/delays/storage errors and prove recovery keeps "
+        "results bit-identical",
+    )
+    chaos.add_argument(
+        "--seeds",
+        default="1,2,3",
+        help="comma-separated fault-plan seeds (default 1,2,3; each "
+        "seed reproduces one whole failure scenario)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload seed for the synthetic graph and event stream",
+    )
+    chaos.add_argument(
+        "--nodes",
+        type=int,
+        default=12,
+        help="graph size: N items + N consumers (default 12)",
+    )
+    chaos.add_argument(
+        "--events",
+        type=int,
+        default=24,
+        help="synthetic live events for the service smoke (default 24)",
+    )
+    chaos.add_argument("--crash-rate", type=float, default=0.3)
+    chaos.add_argument("--delay-rate", type=float, default=0.15)
+    chaos.add_argument("--io-rate", type=float, default=0.2)
+    chaos.add_argument("--flush-rate", type=float, default=0.5)
+    chaos.add_argument("--poison-rate", type=float, default=0.1)
+    _add_cluster_options(chaos, "all chaos runs")
+    chaos.set_defaults(func=_cmd_chaos)
 
     trace = sub.add_parser(
         "trace",

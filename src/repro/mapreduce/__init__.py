@@ -45,6 +45,20 @@ from .executors import (
     resolve_executor,
     shutdown_shared_pools,
 )
+from .faults import (
+    FAULT_COUNTER_GROUP,
+    FaultPlan,
+    FaultyFileSystem,
+    InjectedFault,
+    InjectedIOError,
+    InjectedTaskFault,
+    PoisonedEvent,
+    RetryPolicy,
+    RetryingFileSystem,
+    TaskFaultSpec,
+    fired_specs,
+    resilient_task_call,
+)
 from .job import KeyValue, MapReduceJob
 from .partitioner import (
     HashPartitioner,
@@ -83,11 +97,17 @@ __all__ = [
     "Executor",
     "ExecutorError",
     "ExternalShuffle",
+    "FAULT_COUNTER_GROUP",
     "FILESYSTEM_BACKENDS",
+    "FaultPlan",
+    "FaultyFileSystem",
     "FileSystem",
     "FileSystemError",
     "HashPartitioner",
     "InMemoryFileSystem",
+    "InjectedFault",
+    "InjectedIOError",
+    "InjectedTaskFault",
     "IterativeDriver",
     "JobValidationError",
     "KeyValue",
@@ -97,18 +117,24 @@ __all__ = [
     "MapReduceRuntime",
     "Pipeline",
     "PipelineStage",
+    "PoisonedEvent",
     "ProcessExecutor",
     "Quiet",
     "ResidentStateStore",
     "Retired",
+    "RetryPolicy",
+    "RetryingFileSystem",
     "RoundLimitExceeded",
     "SPILL_COUNTERS",
     "STATE_POINT_COUNTERS",
     "STATE_SPILL_COUNTERS",
     "SerialExecutor",
+    "TaskFaultSpec",
     "ThreadExecutor",
     "canonical_bytes",
     "fast_hash_bytes",
+    "fired_specs",
+    "resilient_task_call",
     "resolve_executor",
     "resolve_filesystem",
     "shutdown_shared_pools",

@@ -23,12 +23,24 @@ bit-identical across backends — is:
    runtime merges them deterministically in task-index order.
 
 Worker pools are lazy, module-level, and shared across executor
-instances (keyed by kind and size), so constructing many runtimes — as
-property-based tests do — does not fork a pool per instance.  Because
-pools are shared, individual executors own no resources to release;
-the one release point is :func:`shutdown_shared_pools` (also
-registered ``atexit``), after which pools are lazily recreated on the
-next use.
+instances, so constructing many runtimes — as property-based tests do
+— does not fork a pool per instance.  At most one pool per kind is
+kept: requesting a different worker count tears the stale pool down
+first, so runtimes with different sizes never leak pools behind each
+other.  Individual executors may release their pool early with
+:meth:`Executor.close`; the global release point is
+:func:`shutdown_shared_pools` (also registered ``atexit``).  Either
+way pools are lazily recreated on the next use.
+
+Fault tolerance: :class:`ProcessExecutor` survives a
+``BrokenProcessPool`` (a worker dying mid-task, e.g. via ``os._exit``)
+by respawning the pool and re-submitting the tasks that were in
+flight, up to :attr:`ProcessExecutor.max_pool_respawns` times per
+batch — re-execution is safe because task units are stateless and
+idempotent.  Parallel backends also implement
+:meth:`Executor.run_tasks_speculative`: tasks still running after a
+timeout get a backup attempt and the first finisher wins, the loser's
+result being discarded (identical by the statelessness contract).
 """
 
 from __future__ import annotations
@@ -38,9 +50,11 @@ import os
 import pickle
 import threading
 from concurrent.futures import (
+    FIRST_COMPLETED,
     BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    wait,
 )
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -83,6 +97,27 @@ class Executor:
         """Return ``[fn(*task) for task in tasks]`` in input order."""
         raise NotImplementedError
 
+    def run_tasks_speculative(
+        self, fn: TaskFunction, tasks: Sequence[Task], timeout: float
+    ) -> Tuple[List[Any], int]:
+        """Like :meth:`run_tasks`, plus straggler mitigation.
+
+        Tasks still running ``timeout`` seconds after dispatch get a
+        backup attempt; whichever attempt finishes first supplies the
+        result and the loser is discarded.  Returns ``(results,
+        backup_wins)``.  Backends without real parallelism have no
+        stragglers to race, so the base implementation just runs the
+        batch.
+        """
+        return self.run_tasks(fn, tasks), 0
+
+    def close(self) -> None:
+        """Release any worker pool this executor was using.
+
+        Safe to call repeatedly; the pool is lazily recreated on the
+        next use.  The serial backend holds no resources.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 
@@ -109,11 +144,21 @@ def _default_workers() -> int:
 
 
 def _shared_pool(kind: str, max_workers: int) -> Any:
-    """Return (creating lazily) the shared pool for ``(kind, size)``."""
+    """Return (creating lazily) the shared pool for ``(kind, size)``.
+
+    At most one pool per kind stays alive: asking for a different
+    worker count evicts the stale pool, so alternating runtimes with
+    different sizes cannot accumulate idle worker fleets.
+    """
     key = (kind, max_workers)
+    stale: List[Any] = []
     with _POOL_LOCK:
         pool = _SHARED_POOLS.get(key)
         if pool is None:
+            for other_key in [
+                k for k in _SHARED_POOLS if k[0] == kind
+            ]:
+                stale.append(_SHARED_POOLS.pop(other_key))
             if kind == "threads":
                 pool = ThreadPoolExecutor(
                     max_workers=max_workers,
@@ -127,7 +172,9 @@ def _shared_pool(kind: str, max_workers: int) -> Any:
                 # modules — the same constraint pickling imposes anyway.
                 pool = ProcessPoolExecutor(max_workers=max_workers)
             _SHARED_POOLS[key] = pool
-        return pool
+    for old in stale:  # shutdown outside the lock; it can block
+        old.shutdown(wait=False, cancel_futures=True)
+    return pool
 
 
 def _evict_pool(kind: str, max_workers: int) -> None:
@@ -169,8 +216,54 @@ class ThreadExecutor(Executor):
         # raises, mirroring the serial backend's error determinism.
         return [future.result() for future in futures]
 
+    def run_tasks_speculative(
+        self, fn: TaskFunction, tasks: Sequence[Task], timeout: float
+    ) -> Tuple[List[Any], int]:
+        tasks = list(tasks)
+        if not tasks:
+            return [], 0
+        pool = _shared_pool("threads", self.max_workers)
+        return _speculate(pool.submit, fn, tasks, timeout)
+
+    def close(self) -> None:
+        _evict_pool("threads", self.max_workers)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThreadExecutor(max_workers={self.max_workers})"
+
+
+def _speculate(
+    submit: Callable[..., Any],
+    fn: TaskFunction,
+    tasks: List[Task],
+    timeout: float,
+) -> Tuple[List[Any], int]:
+    """First-finisher-wins straggler racing over ``submit``.
+
+    Primaries for every task are dispatched up front; any primary
+    still running after ``timeout`` seconds gets one backup attempt,
+    and whichever of the pair completes first supplies the result.
+    The loser keeps running to completion in the pool but its result
+    is never read — safe, because task units are stateless and their
+    outputs identical.  Task-order error determinism is preserved:
+    results (and the first failure) are collected in input order.
+    """
+    primaries = [submit(fn, *task) for task in tasks]
+    done, straggling = wait(primaries, timeout=timeout)
+    wins = 0
+    winners: List[Any] = list(primaries)
+    for index, primary in enumerate(primaries):
+        if primary not in straggling:
+            continue
+        backup = submit(fn, *tasks[index])
+        wait([primary, backup], return_when=FIRST_COMPLETED)
+        # Prefer the primary on a photo finish — fewer discarded wins.
+        if primary.done():
+            backup.cancel()
+        else:
+            winners[index] = backup
+            wins += 1
+    return [future.result() for future in winners], wins
 
 
 def _run_guarded(fn: TaskFunction, task: Task) -> Tuple[bool, Any]:
@@ -204,8 +297,16 @@ class ProcessExecutor(Executor):
     name = "processes"
     picklable_tasks = True
 
+    #: Pool respawns allowed per batch before giving up: a worker can
+    #: die (and be replaced) this many times without failing the job.
+    max_pool_respawns: int = 3
+
     def __init__(self, max_workers: Optional[int] = None) -> None:
         self.max_workers = max_workers or _default_workers()
+        #: Lifetime meters, read by the runtime to fill the ``faults``
+        #: counter group after each dispatch.
+        self.pool_respawns = 0
+        self.resubmitted_tasks = 0
 
     def run_tasks(
         self, fn: TaskFunction, tasks: Sequence[Task]
@@ -213,30 +314,93 @@ class ProcessExecutor(Executor):
         tasks = list(tasks)
         if not tasks:
             return []
-        pool = _shared_pool("processes", self.max_workers)
-        futures = [pool.submit(_run_guarded, fn, task) for task in tasks]
-        outcomes = []
-        for future in futures:
-            try:
-                outcomes.append(future.result())
-            except Exception as exc:
-                # _run_guarded converts job errors into values, so an
-                # exception here is infrastructure: unpicklable inputs
-                # or a broken pool.
-                if isinstance(exc, BrokenExecutor):
-                    _evict_pool("processes", self.max_workers)
-                name = getattr(fn, "__name__", str(fn))
+        outcomes: List[Any] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        respawns_left = self.max_pool_respawns
+        while pending:
+            pool = _shared_pool("processes", self.max_workers)
+            futures: Dict[int, Any] = {}
+            failed: List[int] = []
+            broken: Optional[BaseException] = None
+            for index in pending:
+                try:
+                    futures[index] = pool.submit(
+                        _run_guarded, fn, tasks[index]
+                    )
+                except (BrokenExecutor, RuntimeError) as exc:
+                    # The pool died under us before accepting the task;
+                    # everything not yet submitted needs the next pool.
+                    broken = exc
+                    failed.append(index)
+            for index in sorted(futures):
+                try:
+                    outcomes[index] = futures[index].result()
+                except BrokenExecutor as exc:
+                    # The worker holding this task died (e.g. hard
+                    # os._exit); the task itself is innocent and gets
+                    # re-submitted to a fresh pool.
+                    broken = exc
+                    failed.append(index)
+                except Exception as exc:
+                    # _run_guarded converts job errors into values, so
+                    # any other exception is infrastructure:
+                    # unpicklable inputs.
+                    name = getattr(fn, "__name__", str(fn))
+                    raise ExecutorError(
+                        f"processes backend could not execute {name!r}: "
+                        f"{exc} (jobs, side data, and records must be "
+                        "picklable — define jobs at module level)"
+                    ) from exc
+            if broken is None:
+                break
+            _evict_pool("processes", self.max_workers)
+            if respawns_left <= 0:
                 raise ExecutorError(
-                    f"processes backend could not execute {name!r}: "
-                    f"{exc} (jobs, side data, and records must be "
-                    "picklable — define jobs at module level)"
-                ) from exc
+                    "processes backend: worker pool kept breaking "
+                    f"after {self.max_pool_respawns} respawns: {broken}"
+                ) from broken
+            respawns_left -= 1
+            self.pool_respawns += 1
+            self.resubmitted_tasks += len(failed)
+            pending = sorted(failed)
         results = []
         for ok, value in outcomes:
             if not ok:
                 raise value
             results.append(value)
         return results
+
+    def run_tasks_speculative(
+        self, fn: TaskFunction, tasks: Sequence[Task], timeout: float
+    ) -> Tuple[List[Any], int]:
+        tasks = list(tasks)
+        if not tasks:
+            return [], 0
+        pool = _shared_pool("processes", self.max_workers)
+
+        def submit(task_fn: TaskFunction, *args: Any) -> Any:
+            return pool.submit(_run_guarded, task_fn, args)
+
+        try:
+            outcomes, wins = _speculate(submit, fn, tasks, timeout)
+        except BrokenExecutor as exc:
+            # Speculative batches do not respawn mid-race (primary and
+            # backup attempts would lose their pairing); the plain
+            # run_tasks path is the recovery story for worker death.
+            _evict_pool("processes", self.max_workers)
+            raise ExecutorError(
+                f"processes backend pool broke during speculative "
+                f"execution: {exc}"
+            ) from exc
+        results = []
+        for ok, value in outcomes:
+            if not ok:
+                raise value
+            results.append(value)
+        return results, wins
+
+    def close(self) -> None:
+        _evict_pool("processes", self.max_workers)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessExecutor(max_workers={self.max_workers})"

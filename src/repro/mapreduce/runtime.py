@@ -129,6 +129,15 @@ from ..telemetry.metrics import (
 from .counters import Counters
 from .errors import JobValidationError
 from .executors import Executor, resolve_executor
+from .faults import (
+    FAULT_COUNTER_GROUP,
+    FaultPlan,
+    FaultyFileSystem,
+    RetryPolicy,
+    RetryingFileSystem,
+    fired_specs,
+    resilient_task_call,
+)
 from .job import KeyValue, MapReduceJob
 from .partitioner import HashPartitioner, canonical_bytes, fast_hash_bytes
 from .state import Quiet, ResidentStateStore, Retired
@@ -227,6 +236,21 @@ class MapReduceRuntime:
         wall-clock measured inside the picklable task wrapper, so all
         backends report comparably).  ``None`` (default) keeps the
         instrumentation sites zero-cost.
+    retry_policy:
+        Optional :class:`~repro.mapreduce.faults.RetryPolicy`.  With
+        ``max_attempts > 1``, failed task attempts re-execute (the
+        failed attempt's counters are discarded whole, so totals stay
+        bit-identical) and transient storage errors are retried
+        driver-side; with ``task_timeout`` set and a parallel backend,
+        straggling tasks get a speculative backup attempt and the
+        first finisher wins.  Recovery activity is metered under the
+        volatile ``faults`` counter group.
+    fault_plan:
+        Optional :class:`~repro.mapreduce.faults.FaultPlan` injecting
+        seeded, deterministic task crashes / straggler delays /
+        transient storage errors into this runtime — chaos testing
+        for the retry machinery.  Pair with a ``retry_policy`` whose
+        budget covers the plan, or jobs fail as the plan dictates.
     """
 
     def __init__(
@@ -243,6 +267,8 @@ class MapReduceRuntime:
         spill_threshold: Optional[int] = None,
         spill_dir: Optional[str] = None,
         tracer: Any = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if num_map_tasks < 1 or num_reduce_tasks < 1:
             raise JobValidationError("task counts must be positive")
@@ -260,7 +286,18 @@ class MapReduceRuntime:
         self.executor: Executor = resolve_executor(
             backend, max_workers=max_workers
         )
-        self.filesystem: FileSystem = resolve_filesystem(storage)
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        filesystem: FileSystem = resolve_filesystem(storage)
+        if fault_plan is not None and fault_plan.io_rate > 0:
+            filesystem = FaultyFileSystem(
+                filesystem, fault_plan, counters=self.counters
+            )
+        if retry_policy is not None and retry_policy.max_attempts > 1:
+            filesystem = RetryingFileSystem(
+                filesystem, retry_policy, counters=self.counters
+            )
+        self.filesystem: FileSystem = filesystem
         self.spill_threshold = spill_threshold
         self.spill_dir = spill_dir
         self.jobs_executed = 0
@@ -317,7 +354,11 @@ class MapReduceRuntime:
         return self.tracer.span(name, kind=kind, **attrs)
 
     def _run_tasks(
-        self, fn: Callable, tasks: List[Tuple], label: str
+        self,
+        fn: Callable,
+        tasks: List[Tuple],
+        label: str,
+        job: Optional[MapReduceJob] = None,
     ) -> List[Any]:
         """Dispatch task units, recording per-task spans when tracing.
 
@@ -325,15 +366,88 @@ class MapReduceRuntime:
         processes backend measures the same way), and leaf spans are
         recorded driver-side in task-index order under whichever span
         is currently open.
+
+        This is also the recovery choke point.  With a
+        :class:`RetryPolicy`, every task is wrapped in
+        :func:`~repro.mapreduce.faults.resilient_task_call` (retries
+        stay inside the worker, so the backend sees one submission per
+        task) and a ``task_timeout`` routes the batch through the
+        executor's speculative path; with a :class:`FaultPlan`, the
+        wrapper also fires the scheduled crashes and delays.  Failed
+        attempts never return their counters, so the merged totals are
+        bit-identical with the fault-free run; recovery activity lands
+        in the volatile ``faults`` group.
         """
+        policy = self.retry_policy
+        plan = self.fault_plan
+        max_attempts = policy.max_attempts if policy is not None else 1
+        backoff = policy.backoff if policy is not None else 0.0
+        if plan is not None and plan.has_task_faults:
+            job_name = job.name if job is not None else label
+            wrapped: List[Tuple] = []
+            for index, task in enumerate(tasks):
+                specs = plan.task_faults(
+                    job_name, label, index, max_attempts
+                )
+                for spec in fired_specs(specs):
+                    self.counters.increment(
+                        FAULT_COUNTER_GROUP, f"injected_{spec.kind}"
+                    )
+                    self.counters.increment(
+                        FAULT_COUNTER_GROUP, "injected_total"
+                    )
+                wrapped.append(
+                    (max_attempts, backoff, specs, fn) + tuple(task)
+                )
+            fn, tasks = resilient_task_call, wrapped
+        elif max_attempts > 1:
+            # No scheduled faults, but real transient errors (OSError
+            # from a flaky disk, say) still get the retry budget.
+            tasks = [
+                (max_attempts, backoff, (), fn) + tuple(task)
+                for task in tasks
+            ]
+            fn = resilient_task_call
+        executor = self.executor
+        respawns_before = getattr(executor, "pool_respawns", 0)
+        resubmits_before = getattr(executor, "resubmitted_tasks", 0)
         tracer = self.tracer
-        if tracer is None:
-            return self.executor.run_tasks(fn, tasks)
-        timed = self.executor.run_tasks(
-            _timed_call, [(fn,) + tuple(task) for task in tasks]
+        if tracer is not None:
+            # Timing composes outside the retry wrapper: a task's span
+            # covers all its attempts, which is what straggler-hunting
+            # traces should see.
+            fn, tasks = _timed_call, [
+                (fn,) + tuple(task) for task in tasks
+            ]
+        timeout = policy.task_timeout if policy is not None else None
+        if timeout is not None:
+            raw, wins = executor.run_tasks_speculative(
+                fn, tasks, timeout
+            )
+            if wins:
+                self.counters.increment(
+                    FAULT_COUNTER_GROUP, "task.speculative_wins", wins
+                )
+        else:
+            raw = executor.run_tasks(fn, tasks)
+        respawned = (
+            getattr(executor, "pool_respawns", 0) - respawns_before
         )
+        resubmitted = (
+            getattr(executor, "resubmitted_tasks", 0) - resubmits_before
+        )
+        if respawned:
+            self.counters.increment(
+                FAULT_COUNTER_GROUP, "pool.respawns", respawned
+            )
+        if resubmitted:
+            self.counters.increment(
+                FAULT_COUNTER_GROUP, "task.resubmits", resubmitted
+            )
+        if tracer is None:
+            return raw
         results: List[Any] = []
-        for index, (seconds, result) in enumerate(timed):
+        for index, (seconds, result) in enumerate(raw):
             tracer.record(f"{label}-{index}", kind="task", seconds=seconds)
             results.append(result)
         return results
@@ -401,6 +515,7 @@ class MapReduceRuntime:
                             for partition in partitions
                         ],
                         label="reduce",
+                        job=job,
                     )
                 self._meter_phase(
                     "reduce", time.perf_counter() - started
@@ -562,6 +677,7 @@ class MapReduceRuntime:
                         _execute_stateful_reduce_task,
                         tasks,
                         label="reduce",
+                        job=job,
                     )
                 self._meter_phase(
                     "reduce", time.perf_counter() - started
@@ -715,6 +831,7 @@ class MapReduceRuntime:
                 for split in splits
             ],
             label="map",
+            job=job,
         )
         map_hist = self.metrics.histogram(
             "runtime", "task.map_output_records", COUNT_BUCKETS

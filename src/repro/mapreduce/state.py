@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from .counters import Counters
 from .errors import JobValidationError
+from .faults import FAULT_COUNTER_GROUP
 from .job import KeyValue
 from .partitioner import HashPartitioner, canonical_bytes
 from .storage import FileSystem, InMemoryFileSystem, strip_spill_counters
@@ -75,12 +76,15 @@ STATE_POINT_COUNTERS = (
 
 
 def strip_volatile_counters(snapshot: dict) -> dict:
-    """Drop shuffle-spill, state-spill, and point-access counters.
+    """Drop shuffle-spill, state-spill, point-access, and fault counters.
 
     The cross-cell equivalence contract of the matching test matrix:
     for a fixed delta mode, counter totals are bit-identical across
     executors, filesystems, and spill thresholds once the
-    threshold-dependent counters are stripped.
+    threshold-dependent counters are stripped.  The ``faults`` group
+    (injection and recovery meters) is dropped wholesale for the same
+    reason: a chaos run must agree with the fault-free run on
+    everything *except* the record of the faults themselves.
 
     Accepts either a plain :class:`Counters` snapshot or a full
     :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot (the
@@ -109,9 +113,11 @@ def strip_volatile_counters(snapshot: dict) -> dict:
             ),
             "histograms": histograms,
         }
-    return strip_spill_counters(
+    stripped = strip_spill_counters(
         snapshot, extra=STATE_SPILL_COUNTERS + STATE_POINT_COUNTERS
     )
+    stripped.pop(FAULT_COUNTER_GROUP, None)
+    return stripped
 
 
 def _is_registry_snapshot(snapshot: dict) -> bool:
@@ -229,6 +235,72 @@ class ResidentStateStore:
         self._overlay: List[Dict[bytes, Optional[StateEntry]]] = [
             {} for _ in range(num_partitions)
         ]
+        #: Open transaction snapshot (see :meth:`begin_transaction`),
+        #: or ``None``.
+        self._txn: Optional[Tuple[Any, Any, Any]] = None
+        self._park_deferred = False
+
+    # -- transactions ------------------------------------------------------
+
+    def begin_transaction(self) -> None:
+        """Snapshot the store so a failure can roll it back.
+
+        The snapshot is *shallow*: the partition dicts, key sets, and
+        overlays are copied, the :data:`StateEntry` values are aliased.
+        That is sound because every producer of entries treats them as
+        immutable — ``reduce_state`` implementations return fresh state
+        instances rather than mutating the stored ones (the
+        statelessness contract the speculative check enforces) — so an
+        aliased entry can never be changed under the snapshot, only
+        replaced.  Cost is O(resident keys), independent of state size.
+
+        While a transaction is open, :meth:`maybe_park` is deferred:
+        parked *files* are never rewritten mid-transaction, so the
+        on-disk image always reflects the last committed state and
+        rollback is pure in-memory restoration.  The deferred park (if
+        any) runs at :meth:`commit_transaction`.
+        """
+        if self._txn is not None:
+            raise JobValidationError(
+                f"store {self.name!r} already has an open transaction"
+            )
+        self._txn = (
+            [
+                dict(part) if part is not None else None
+                for part in self._partitions
+            ],
+            [set(keys) for keys in self._keys],
+            [dict(overlay) for overlay in self._overlay],
+        )
+        self._park_deferred = False
+
+    def commit_transaction(self) -> None:
+        """Discard the rollback snapshot and run any deferred park."""
+        if self._txn is None:
+            raise JobValidationError(
+                f"store {self.name!r} has no open transaction"
+            )
+        self._txn = None
+        if self._park_deferred:
+            self._park_deferred = False
+            self.maybe_park()
+
+    def rollback_transaction(self) -> None:
+        """Restore the store to its :meth:`begin_transaction` state."""
+        if self._txn is None:
+            raise JobValidationError(
+                f"store {self.name!r} has no open transaction"
+            )
+        partitions, keys, overlay = self._txn
+        self._partitions = partitions
+        self._keys = keys
+        self._overlay = overlay
+        self._txn = None
+        self._park_deferred = False
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
 
     # -- addressing --------------------------------------------------------
 
@@ -380,6 +452,12 @@ class ResidentStateStore:
         partitions are resident, mirroring the external shuffle's
         correctness-first semantics).
         """
+        if self._txn is not None:
+            # Mid-transaction parks are deferred to commit so the
+            # on-disk image keeps the last committed state (rollback
+            # then never needs to touch the filesystem).
+            self._park_deferred = True
+            return
         if self.spill_threshold is None:
             return
         if len(self) <= self.spill_threshold:

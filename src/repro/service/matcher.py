@@ -60,6 +60,11 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from ..graph import Graph
 from ..mapreduce import MapReduceRuntime, canonical_bytes
 from ..mapreduce.errors import RoundLimitExceeded
+from ..mapreduce.faults import (
+    FAULT_COUNTER_GROUP,
+    InjectedFault,
+    PoisonedEvent,
+)
 from ..telemetry.metrics import TIMING_BUCKETS
 from ..matching.greedy_mr import GreedyDeltaNode, GreedyDeltaRoundJob
 from .events import (
@@ -83,13 +88,21 @@ NodeRecord = Tuple[int, Dict[str, float]]
 
 @dataclass(frozen=True)
 class FlushReport:
-    """What one micro-batch flush did."""
+    """What one micro-batch flush did.
+
+    ``dead_lettered`` counts the batch's events that sit in the
+    matcher's dead-letter queue after the flush — events whose
+    admission kept failing transiently until their retry budget ran
+    out (they are *not* in ``rejected``, which is for deterministic
+    validation failures).
+    """
 
     admitted: int
     rejected: Tuple[Tuple[Event, str], ...]
     affected_nodes: int
     rounds: int
     seconds: float
+    dead_lettered: int = 0
 
 
 class OnlineMatcher:
@@ -137,6 +150,31 @@ class OnlineMatcher:
             volatile=True,
             keep_samples=True,
         )
+        #: Recovery configuration piggybacks on the runtime's: the
+        #: same retry budget that re-executes tasks also re-admits
+        #: faulted flush attempts, and the same fault plan injects
+        #: poisoned events / mid-reconvergence faults.
+        self._retry_policy = self.runtime.retry_policy
+        self._fault_plan = self.runtime.fault_plan
+        #: Events whose admission kept failing *transiently* until the
+        #: retry budget ran out, with the reason — the dead-letter
+        #: queue.  Deterministic validation failures never land here
+        #: (those are ``rejected`` in the flush report).
+        self.dead_letters: List[Tuple[Event, str]] = []
+        self._dead_set: Set[int] = set()
+        #: Admission sequence numbers: the global position of a batch's
+        #: first event.  Only *committed* flushes advance it, so a
+        #: re-admitted batch reuses the same sequence numbers — fault
+        #: identity (poisoning, dead-lettering) is per event, not per
+        #: attempt.
+        self._event_seq = 0
+        self._event_attempts: Dict[int, int] = {}
+        self._flush_index = 0
+        #: Open-transaction snapshot of the driver-side matching state
+        #: (``None`` outside a flush).
+        self._txn_matching: Optional[
+            Tuple[Dict[str, Dict[str, float]], int]
+        ] = None
         bootstrap = plain_graph(graph)
         if bootstrap.num_nodes:
             self._num_edges = bootstrap.num_edges
@@ -176,7 +214,37 @@ class OnlineMatcher:
         self.graph_store.maybe_park()
         self.match_store.maybe_park()
 
-    # -- event admission ---------------------------------------------------
+    # -- transactional flush ----------------------------------------------
+
+    def _begin_flush_txn(self) -> None:
+        """Snapshot everything a failed flush attempt must restore.
+
+        Both resident stores open a transaction (shallow snapshots;
+        parked files are left untouched until commit), and the
+        driver-side matching (``_partners`` + the edge count) is
+        copied two levels deep — the inner partner dicts mutate in
+        place during re-convergence.
+        """
+        self.graph_store.begin_transaction()
+        self.match_store.begin_transaction()
+        self._txn_matching = (
+            {node: dict(peers) for node, peers in self._partners.items()},
+            self._num_edges,
+        )
+
+    def _commit_flush_txn(self) -> None:
+        self.graph_store.commit_transaction()
+        self.match_store.commit_transaction()
+        self._txn_matching = None
+
+    def _rollback_flush_txn(self) -> None:
+        self.graph_store.rollback_transaction()
+        self.match_store.rollback_transaction()
+        assert self._txn_matching is not None
+        self._partners, self._num_edges = self._txn_matching
+        self._txn_matching = None
+        # The read cache may hold rolled-back records.
+        self._cache.clear()
 
     def flush(self, events: List[Event]) -> FlushReport:
         """Admit one micro-batch and re-converge once for all of it.
@@ -186,8 +254,78 @@ class OnlineMatcher:
         leaving partial state behind.  All admitted events share a
         single incremental re-convergence — the coalescing the
         service's micro-batching exists to buy.
+
+        The flush is **transactional**: a transient failure anywhere —
+        admission, re-convergence rounds, storage — rolls the graph
+        and match stores and the driver-side matching back to their
+        pre-flush state, and the whole batch re-admits on the next
+        attempt (budgeted by the runtime's
+        :class:`~repro.mapreduce.faults.RetryPolicy`; one attempt
+        without a policy).  An event that keeps failing transiently is
+        dead-lettered after its per-event budget rather than poisoning
+        the batch forever (see :attr:`dead_letters`); deterministic
+        failures still reject immediately.  When every attempt fails,
+        the last exception propagates — with the stores still at the
+        pre-flush state.
         """
+        policy = self._retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
         started = time.perf_counter()
+        attempt = 0
+        while True:
+            self._begin_flush_txn()
+            try:
+                report = self._flush_once(events, attempt, max_attempts)
+            except PoisonedEvent:
+                # A poisoned event consumes *its own* per-event budget
+                # (tracked in ``_event_attempts``), not the flush's:
+                # a batch with several poisoned events may roll back
+                # more times than max_attempts before each has been
+                # retried to death and dead-lettered.  Termination is
+                # still bounded — every pass increments some event's
+                # attempt counter, and saturated events stop raising.
+                self._rollback_flush_txn()
+                continue
+            except (InjectedFault, OSError):
+                self._rollback_flush_txn()
+                self._meter_fault("flush.retries")
+                attempt += 1
+                if attempt >= max_attempts:
+                    raise
+                delay = policy.retry_delay(attempt) if policy else 0.0
+                if delay:
+                    time.sleep(delay)
+                continue
+            except BaseException:
+                # Non-retryable (validation bugs, round-limit blowups):
+                # still leave consistent pre-flush state behind.
+                self._rollback_flush_txn()
+                raise
+            self._commit_flush_txn()
+            break
+        self._event_seq += len(events)
+        self._flush_index += 1
+        seconds = time.perf_counter() - started
+        self._flush_hist.observe(seconds)
+        self._meter("events.admitted", report.admitted)
+        self._meter("events.rejected", len(report.rejected))
+        self._meter("batches.flushed", 1)
+        self._meter("reconverge.rounds", report.rounds)
+        self._meter("reconverge.affected_nodes", report.affected_nodes)
+        return FlushReport(
+            admitted=report.admitted,
+            rejected=report.rejected,
+            affected_nodes=report.affected_nodes,
+            rounds=report.rounds,
+            seconds=seconds,
+            dead_lettered=report.dead_lettered,
+        )
+
+    def _flush_once(
+        self, events: List[Event], attempt: int, max_attempts: int
+    ) -> FlushReport:
+        """One flush attempt inside an open transaction."""
+        plan = self._fault_plan
         admitted = 0
         rejected: List[Tuple[Event, str]] = []
         seeds: Set[str] = set()
@@ -195,7 +333,13 @@ class OnlineMatcher:
         with self.runtime._span("flush", kind="flush", events=len(events)):
             stage_started = time.perf_counter()
             with self.runtime._span("admit", kind="stage"):
-                for event in events:
+                for offset, event in enumerate(events):
+                    sequence = self._event_seq + offset
+                    if sequence in self._dead_set:
+                        continue
+                    if plan is not None and plan.event_poisoned(sequence):
+                        self._admission_fault(event, sequence, max_attempts)
+                        continue
                     try:
                         seeds |= self._admit(event, retired)
                     except EventError as exc:
@@ -206,27 +350,67 @@ class OnlineMatcher:
                 time.perf_counter() - stage_started
             )
             stage_started = time.perf_counter()
+            inject = plan is not None and plan.flush_fault(
+                self._flush_index, attempt
+            )
             with self.runtime._span("reconverge", kind="stage"):
                 affected = self._affected(seeds)
-                rounds = self._reconverge(affected, retired)
+                rounds = self._reconverge(
+                    affected, retired, inject_fault=inject
+                )
             self._stage_gauge("reconverge").add(
                 time.perf_counter() - stage_started
             )
             self._end_flush()
-        seconds = time.perf_counter() - started
-        self._flush_hist.observe(seconds)
-        self._meter("events.admitted", admitted)
-        self._meter("events.rejected", len(rejected))
-        self._meter("batches.flushed", 1)
-        self._meter("reconverge.rounds", rounds)
-        self._meter("reconverge.affected_nodes", len(affected))
+        dead = sum(
+            1
+            for offset in range(len(events))
+            if self._event_seq + offset in self._dead_set
+        )
         return FlushReport(
             admitted=admitted,
             rejected=tuple(rejected),
             affected_nodes=len(affected),
             rounds=rounds,
-            seconds=seconds,
+            seconds=0.0,  # the committed report carries the real time
+            dead_lettered=dead,
         )
+
+    def _admission_fault(
+        self, event: Event, sequence: int, max_attempts: int
+    ) -> None:
+        """Handle one poisoned admission: retry or dead-letter.
+
+        Raises :class:`PoisonedEvent` (failing the whole attempt, so
+        the transaction rolls back and the batch re-admits) until the
+        event's per-event budget is spent, then routes it to the
+        dead-letter queue — subsequent attempts skip it via
+        ``_dead_set`` and the rest of the batch goes through.
+        """
+        self._meter_fault("injected_poison")
+        self._meter_fault("injected_total")
+        attempts = self._event_attempts.get(sequence, 0) + 1
+        self._event_attempts[sequence] = attempts
+        if attempts >= max_attempts:
+            self._dead_set.add(sequence)
+            self.dead_letters.append(
+                (
+                    event,
+                    f"admission failed transiently {attempts}x "
+                    f"(event seq {sequence})",
+                )
+            )
+            self._meter_fault("events.dead_lettered")
+            return
+        raise PoisonedEvent(
+            f"injected admission fault for event seq {sequence} "
+            f"(attempt {attempts})"
+        )
+
+    def _meter_fault(self, name: str, value: int = 1) -> None:
+        self.runtime.counters.increment(FAULT_COUNTER_GROUP, name, value)
+
+    # -- event admission ---------------------------------------------------
 
     def _admit(self, event: Event, retired: Set[str]) -> Set[str]:
         """Validate + apply one event to the graph store; return seeds.
@@ -341,9 +525,19 @@ class OnlineMatcher:
     # -- incremental re-convergence ----------------------------------------
 
     def _reconverge(
-        self, affected: Set[str], retired: Optional[Set[str]] = None
+        self,
+        affected: Set[str],
+        retired: Optional[Set[str]] = None,
+        inject_fault: bool = False,
     ) -> int:
-        """Recompute the affected components; returns rounds run."""
+        """Recompute the affected components; returns rounds run.
+
+        ``inject_fault`` makes the re-convergence fail transiently
+        after its first round's partner updates (or immediately when
+        there is nothing to converge) — the worst spot for the flush
+        transaction: stores and driver-side matching are maximally
+        mid-update.
+        """
         for node in retired or ():
             self.match_store.discard(canonical_bytes(node), node)
             self._drop_matches(node)
@@ -381,7 +575,16 @@ class OnlineMatcher:
                 if isinstance(key, tuple) and key[0] == "matched":
                     self._partners.setdefault(key[1], {})[key[2]] = weight
                     self._partners.setdefault(key[2], {})[key[1]] = weight
+            if inject_fault:
+                self._inject_reconverge_fault()
+        if inject_fault:
+            self._inject_reconverge_fault()
         return rounds
+
+    def _inject_reconverge_fault(self) -> None:
+        self._meter_fault("injected_flush")
+        self._meter_fault("injected_total")
+        raise InjectedFault("injected mid-reconvergence flush fault")
 
     def _drop_matches(self, node: str) -> None:
         """Forget every matched edge incident to ``node``."""

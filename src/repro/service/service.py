@@ -176,6 +176,7 @@ class MatchingService:
         counters = self.matcher.runtime.counters.group(
             SERVICE_COUNTER_GROUP
         )
+        faults = self.matcher.runtime.counters.group("faults")
         latencies = self.matcher.flush_seconds
         admitted = counters.get("events.admitted", 0)
         flushed = counters.get("batches.flushed", 0)
@@ -190,6 +191,8 @@ class MatchingService:
                 admitted / busy if busy > 0 else 0.0
             ),
             "flushes_per_sec": flushed / busy if busy > 0 else 0.0,
+            "dead_letter_events": len(self.matcher.dead_letters),
+            "flush_retries": faults.get("flush.retries", 0),
         }
         report.update(latency_summary_ms(latencies))
         return report

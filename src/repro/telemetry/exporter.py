@@ -122,28 +122,52 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         exporter = self.server.exporter
         path = self.path.split("?", 1)[0]
-        if path == "/metrics":
-            body = render_prometheus(
-                exporter.snapshot(),
-                exporter.extra_metrics(),
-                namespace=exporter.namespace,
-            ).encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        elif path == "/metrics.json":
-            body = json.dumps(
-                {
-                    "registry": exporter.snapshot(),
-                    "service": exporter.extra_metrics(),
-                },
-                indent=1,
-                default=str,
-            ).encode("utf-8")
-            content_type = "application/json"
-        elif path == "/healthz":
-            body = b"ok\n"
-            content_type = "text/plain; charset=utf-8"
-        else:
-            self.send_error(404, "unknown path")
+        try:
+            if path == "/metrics":
+                body = render_prometheus(
+                    exporter.snapshot(),
+                    exporter.extra_metrics(),
+                    namespace=exporter.namespace,
+                ).encode("utf-8")
+                # The exporter's own health joins the exposition, so a
+                # scraper can alert on scrape failures it didn't see.
+                ns = exporter.namespace
+                body += (
+                    f"# TYPE {ns}_exporter_scrape_errors counter\n"
+                    f"{ns}_exporter_scrape_errors "
+                    f"{exporter.scrape_errors}\n"
+                ).encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/metrics.json":
+                body = json.dumps(
+                    {
+                        "registry": exporter.snapshot(),
+                        "service": exporter.extra_metrics(),
+                        "exporter": {
+                            "scrape_count": exporter.scrape_count,
+                            "scrape_errors": exporter.scrape_errors,
+                        },
+                    },
+                    indent=1,
+                    default=str,
+                ).encode("utf-8")
+                content_type = "application/json"
+            elif path == "/healthz":
+                error = exporter.last_scrape_error
+                if error is None:
+                    body = b"ok\n"
+                else:
+                    body = f"degraded: {error}\n".encode("utf-8")
+                content_type = "text/plain; charset=utf-8"
+            else:
+                self.send_error(404, "unknown path")
+                return
+        except Exception as exc:
+            # A malformed snapshot or a failing extra_metrics callable
+            # must not kill the serving thread: count it, remember it
+            # for /healthz, answer 500, and keep serving.
+            exporter._record_scrape_error(exc)
+            self.send_error(500, "scrape failed")
             return
         self.send_response(200)
         self.send_header("Content-Type", content_type)
@@ -194,6 +218,11 @@ class MetricsExporter:
         self.port = port
         self.namespace = namespace
         self.scrape_count = 0
+        #: Scrape attempts that raised in the handler (malformed
+        #: snapshot, failing ``extra_metrics``) — answered 500 instead
+        #: of killing the serving thread.
+        self.scrape_errors = 0
+        self._last_scrape_error: Optional[str] = None
         self._server: Optional[_Server] = None
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
@@ -211,6 +240,23 @@ class MetricsExporter:
     def _count_scrape(self) -> None:
         with self._lock:
             self.scrape_count += 1
+            # A successful scrape clears degradation: /healthz reports
+            # the *current* state, not a latched one.
+            self._last_scrape_error = None
+
+    def _record_scrape_error(self, exc: BaseException) -> None:
+        with self._lock:
+            self.scrape_errors += 1
+            self._last_scrape_error = (
+                f"{type(exc).__name__}: {exc}"
+            )
+
+    @property
+    def last_scrape_error(self) -> Optional[str]:
+        """``None`` when healthy, else the last failure (cleared by the
+        next successful scrape) — what ``/healthz`` reports."""
+        with self._lock:
+            return self._last_scrape_error
 
     def wait_for_scrapes(self, count: int, timeout: float) -> bool:
         """Block until at least ``count`` scrapes landed (or timeout).

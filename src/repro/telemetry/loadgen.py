@@ -233,6 +233,14 @@ def events_digest(events: Sequence[Event]) -> str:
     return hasher.hexdigest()[:16]
 
 
+async def _settle(
+    service: MatchingService, tasks: List["asyncio.Task"]
+) -> None:
+    """Drain the service, then wait for every submission to resolve."""
+    await service.drain()
+    await asyncio.gather(*tasks)
+
+
 @dataclass
 class LoadReport:
     """What one closed-loop run measured."""
@@ -266,6 +274,7 @@ async def run_load(
     service: MatchingService,
     events: Sequence[Event],
     offered_rate: Optional[float] = None,
+    drain_timeout: Optional[float] = 120.0,
 ) -> LoadReport:
     """Drive the service with ``events`` and measure per-event latency.
 
@@ -278,6 +287,12 @@ async def run_load(
     The sample lands in the runtime's registry as the volatile
     ``load.event_latency_seconds`` histogram (scrapeable mid-run via
     the metrics endpoint).  Does not close the service.
+
+    ``drain_timeout`` bounds the end-of-stream drain and result
+    gather: a wedged flush (a deadlocked store, an executor that never
+    returns) fails the run with a :class:`RuntimeError` naming the
+    number of unresolved submissions instead of hanging CI forever.
+    ``None`` waits unboundedly.
     """
     loop = asyncio.get_running_loop()
     interval = 1.0 / offered_rate if offered_rate else 0.0
@@ -309,8 +324,26 @@ async def run_load(
     # Flush any straggler partial batch immediately — without this, a
     # stream that is not a multiple of max_batch waits out the full
     # max_delay timer before the last waiters resolve.
-    await service.drain()
-    latencies = list(await asyncio.gather(*tasks))
+    try:
+        await asyncio.wait_for(
+            _settle(service, tasks), timeout=drain_timeout
+        )
+    except asyncio.TimeoutError:
+        pending = sum(
+            1
+            for task in tasks
+            if not task.done() or task.cancelled()
+        )
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        raise RuntimeError(
+            f"load run wedged: drain did not complete within "
+            f"{drain_timeout}s ({pending} of {len(tasks)} submissions "
+            f"still unresolved — a flush is stuck or the service "
+            f"stopped making progress)"
+        ) from None
+    latencies = [task.result() for task in tasks]
     wall = loop.time() - started
     return LoadReport(
         events=len(tasks),

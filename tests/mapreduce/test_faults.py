@@ -1,0 +1,433 @@
+"""Deterministic chaos: injected faults must recover bit-identically.
+
+The fault plane's contract has two halves.  The plan itself is a pure
+function of ``(seed, site)`` — same seed, same faults, on every
+backend, filesystem, and machine.  And recovery is *invisible*: a run
+under an active :class:`FaultPlan` with a retry budget must produce
+output records, ``job_log``, and non-volatile counter totals
+bit-identical to the fault-free run, with only the ``faults`` counter
+group left behind as evidence that anything fired.  The chaos matrix
+test here is that claim, driven across every configured execution
+backend (× the storage/spill env knobs) for several seeded scenarios.
+"""
+
+import os
+import tempfile
+from contextlib import contextmanager
+
+import pytest
+
+from repro.mapreduce import (
+    Counters,
+    FaultPlan,
+    InjectedIOError,
+    JobValidationError,
+    LocalDiskFileSystem,
+    MapReduceJob,
+    MapReduceRuntime,
+    ProcessExecutor,
+    RetryPolicy,
+    RetryingFileSystem,
+    FaultyFileSystem,
+    TaskFaultSpec,
+    ThreadExecutor,
+    fired_specs,
+)
+from repro.mapreduce.executors import _SHARED_POOLS
+from repro.mapreduce.state import strip_volatile_counters
+from repro.mapreduce.storage import InMemoryFileSystem
+
+from ..conftest import SPILL_THRESHOLD, STORAGE
+
+CHAOS_SEEDS = (1, 2, 3)
+
+#: Rates for the chaos matrix: high enough that every seed injects
+#: several faults (asserted), low enough that the retry budget always
+#: covers them (``max_faults_per_site=1`` guarantees it anyway).
+CHAOS_RATES = dict(crash_rate=0.35, delay_rate=0.15, io_rate=0.25)
+
+
+# -- module-level jobs (picklable for the processes backend) ---------------
+
+
+class Histogram(MapReduceJob):
+    has_combiner = True
+
+    def map(self, key, value):
+        yield value % 5, 1
+
+    def combine(self, key, counts):
+        yield key, sum(counts)
+
+    def reduce(self, key, counts):
+        yield key, sum(counts)
+
+
+class KamikazeOnce(MapReduceJob):
+    """First map task to run kills its whole worker process.
+
+    The sentinel file makes the crash once-per-run (machine-scoped),
+    so re-executions after the pool respawn succeed — the abrupt
+    worker-death shape (OOM kill, segfault) that ``BrokenProcessPool``
+    reports, as opposed to a clean task exception.
+    """
+
+    def __init__(self, sentinel):
+        self.sentinel = sentinel
+
+    def map(self, key, value):
+        if not os.path.exists(self.sentinel):
+            open(self.sentinel, "w").close()
+            os._exit(13)
+        yield value % 3, value
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+def _exit_once(sentinel, value):
+    """Plain task-function variant of the same worker-death shape."""
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(13)
+    return value
+
+
+def _identity(value):
+    return value
+
+
+RECORDS = [(i, (i * 7) % 13) for i in range(40)]
+
+
+# -- the seeded plan is deterministic --------------------------------------
+
+
+def test_fault_plan_is_deterministic_and_seed_sensitive():
+    kwargs = dict(
+        crash_rate=0.4,
+        delay_rate=0.2,
+        io_rate=0.3,
+        flush_rate=0.5,
+        poison_rate=0.3,
+    )
+    one, two, other = (
+        FaultPlan(1, **kwargs),
+        FaultPlan(1, **kwargs),
+        FaultPlan(2, **kwargs),
+    )
+    sites = [
+        ("job", phase, index)
+        for phase in ("map", "reduce")
+        for index in range(8)
+    ]
+
+    def decisions(plan):
+        return (
+            [
+                tuple(
+                    spec and (spec.kind, spec.seconds)
+                    for spec in plan.task_faults(*site, max_attempts=3)
+                )
+                for site in sites
+            ],
+            [plan.storage_fault("read", i) for i in range(32)],
+            [plan.storage_fault("write", i) for i in range(32)],
+            [plan.flush_fault(i, 0) for i in range(32)],
+            [plan.event_poisoned(i) for i in range(32)],
+        )
+
+    assert decisions(one) == decisions(two)
+    assert decisions(one) != decisions(other)
+
+
+def test_task_crashes_respect_the_retry_budget():
+    plan = FaultPlan(7, crash_rate=1.0)
+    specs = plan.task_faults("job", "map", 0, max_attempts=4)
+    assert len(specs) == 4
+    # max_faults_per_site=1: exactly one crash, on attempt 0, so the
+    # retried attempt always reaches a crash-free execution.
+    assert specs[0].kind == "crash"
+    assert all(spec is None for spec in specs[1:])
+    # With no retry budget there is nowhere to recover: no crashes.
+    assert plan.task_faults("job", "map", 0, max_attempts=1) == (None,)
+
+
+def test_fired_specs_is_the_crash_prefix():
+    crash = TaskFaultSpec(kind="crash")
+    delay = TaskFaultSpec(kind="delay", seconds=0.5)
+    # Attempt n runs only if n-1 crashed; a delay succeeds and stops.
+    assert fired_specs((None, crash)) == []
+    assert fired_specs((crash, crash, None)) == [crash, crash]
+    assert fired_specs((crash, delay, crash)) == [crash, delay]
+    assert fired_specs((delay, crash)) == [delay]
+
+
+def test_fault_plan_validates_rates():
+    with pytest.raises(JobValidationError, match="io_rate"):
+        FaultPlan(0, io_rate=1.5)
+    with pytest.raises(JobValidationError, match="delay_seconds"):
+        FaultPlan(0, delay_seconds=-1)
+    with pytest.raises(JobValidationError, match="max_faults_per_site"):
+        FaultPlan(0, max_faults_per_site=-1)
+
+
+def test_fault_plan_cleans_up_its_scratch_dir():
+    with FaultPlan(0, delay_rate=1.0) as plan:
+        scratch = plan.scratch_dir
+        assert os.path.isdir(scratch)
+    assert not os.path.exists(scratch)
+
+
+# -- storage faults: consumed-once, recovered by retries -------------------
+
+
+def test_faulty_filesystem_faults_each_op_once():
+    counters = Counters()
+    fs = FaultyFileSystem(
+        InMemoryFileSystem(), FaultPlan(0, io_rate=1.0), counters
+    )
+    # The fault is raised *before* the write lands, and consumed: the
+    # immediate retry of the same logical operation succeeds.
+    with pytest.raises(InjectedIOError):
+        fs.write("/a", [(1, "x")])
+    assert not fs.exists("/a")
+    fs.write("/a", [(1, "x")])
+    with pytest.raises(InjectedIOError):
+        fs.read("/a")
+    assert fs.read("/a") == [(1, "x")]
+    faults = counters.group("faults")
+    assert faults["injected_io"] == 2
+    assert faults["injected_total"] == 2
+    # Untargeted operations pass straight through.
+    assert fs.list_paths("/") == ["/a"]
+    fs.delete("/a")
+    assert not fs.exists("/a")
+    assert fs.name == "memory"
+
+
+def test_retrying_filesystem_recovers_transparently():
+    counters = Counters()
+    fs = RetryingFileSystem(
+        FaultyFileSystem(
+            InMemoryFileSystem(), FaultPlan(0, io_rate=1.0), counters
+        ),
+        RetryPolicy(max_attempts=3),
+        counters,
+    )
+    for i in range(5):
+        fs.write(f"/d/{i}", [(i, i * i)])
+    assert [fs.read(f"/d/{i}") for i in range(5)] == [
+        [(i, i * i)] for i in range(5)
+    ]
+    faults = counters.group("faults")
+    # io_rate=1.0 faults every logical op exactly once: 5 writes + 5
+    # reads, each recovered by one retry.
+    assert faults["storage.retries"] == 10
+    assert faults["injected_io"] == 10
+
+
+def test_retrying_filesystem_exhausted_budget_propagates():
+    fs = RetryingFileSystem(
+        FaultyFileSystem(
+            InMemoryFileSystem(), FaultPlan(0, io_rate=1.0), Counters()
+        ),
+        RetryPolicy(max_attempts=1),
+        Counters(),
+    )
+    with pytest.raises(InjectedIOError):
+        fs.write("/a", [(1, "x")])
+
+
+# -- the chaos matrix: recovery is bit-identical ---------------------------
+
+
+@contextmanager
+def _cell_runtime(backend, **kwargs):
+    """A fresh runtime per run (pristine counters, clean tmp)."""
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        if STORAGE == "memory":
+            storage = None
+        else:
+            storage = LocalDiskFileSystem(root=os.path.join(tmp, "dfs"))
+        yield MapReduceRuntime(
+            num_map_tasks=4,
+            num_reduce_tasks=4,
+            counters=Counters(),
+            backend=backend,
+            storage=storage,
+            spill_threshold=SPILL_THRESHOLD,
+            spill_dir=os.path.join(tmp, "spills"),
+            **kwargs,
+        )
+
+
+def _observe_chaos(runtime):
+    """Everything the determinism contract covers, for one run."""
+    for i in range(4):
+        runtime.filesystem.write(
+            f"/chaos/dataset-{i}", [(j, i * j) for j in range(3)]
+        )
+    reads = [
+        runtime.filesystem.read(f"/chaos/dataset-{i}") for i in range(4)
+    ]
+    output = runtime.run(Histogram(), RECORDS)
+    return (
+        reads,
+        output,
+        list(runtime.job_log),
+        strip_volatile_counters(runtime.counters.snapshot()),
+    )
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_chaos_run_is_bit_identical_to_fault_free(backend, seed):
+    with _cell_runtime(backend) as clean:
+        baseline = _observe_chaos(clean)
+    with FaultPlan(seed, delay_seconds=0.0, **CHAOS_RATES) as plan:
+        with _cell_runtime(
+            backend,
+            retry_policy=RetryPolicy(max_attempts=3),
+            fault_plan=plan,
+        ) as runtime:
+            observed = _observe_chaos(runtime)
+            faults = dict(runtime.counters.group("faults"))
+    assert observed == baseline
+    assert faults["injected_total"] > 0
+    # Every scheduled crash burned exactly one retry; delays don't.
+    assert faults.get("task.retries", 0) == faults.get(
+        "injected_crash", 0
+    )
+
+
+def test_chaos_fault_metering_is_backend_independent(backend):
+    """The ``injected_*`` meters are a driver-side function of the
+    plan, so every backend reports the same fault story."""
+    with FaultPlan(1, delay_seconds=0.0, **CHAOS_RATES) as plan:
+        with _cell_runtime(
+            "serial",
+            retry_policy=RetryPolicy(max_attempts=3),
+            fault_plan=plan,
+        ) as serial:
+            _observe_chaos(serial)
+            reference = dict(serial.counters.group("faults"))
+    with FaultPlan(1, delay_seconds=0.0, **CHAOS_RATES) as plan:
+        with _cell_runtime(
+            backend,
+            retry_policy=RetryPolicy(max_attempts=3),
+            fault_plan=plan,
+        ) as runtime:
+            _observe_chaos(runtime)
+            observed = dict(runtime.counters.group("faults"))
+    assert observed == reference
+
+
+# -- worker death: the pool respawns and the job completes -----------------
+
+
+def test_process_pool_respawns_after_worker_death(tmp_path):
+    executor = ProcessExecutor(max_workers=2)
+    try:
+        sentinel = str(tmp_path / "boom")
+        results = executor.run_tasks(
+            _exit_once, [(sentinel, i) for i in range(6)]
+        )
+        assert results == list(range(6))
+        assert executor.pool_respawns >= 1
+        assert executor.resubmitted_tasks >= 1
+    finally:
+        executor.close()
+
+
+def test_runtime_job_survives_worker_death(tmp_path):
+    records = [(i, i) for i in range(12)]
+    # Fault-free reference: the sentinel already exists.
+    baseline_sentinel = tmp_path / "already-dead"
+    baseline_sentinel.touch()
+    with _cell_runtime("serial") as clean:
+        baseline = clean.run(KamikazeOnce(str(baseline_sentinel)), records)
+    with _cell_runtime("processes") as runtime:
+        output = runtime.run(
+            KamikazeOnce(str(tmp_path / "boom")), records
+        )
+        faults = runtime.counters.group("faults")
+    assert output == baseline
+    assert faults["pool.respawns"] >= 1
+    assert faults["task.resubmits"] >= 1
+
+
+# -- stragglers: speculative backups win -----------------------------------
+
+
+def _straggler_runtime(backend, tmp, **kwargs):
+    """A narrow (2x2) cluster with enough workers that a speculative
+    backup can run *while* its straggling primary still sleeps — the
+    default worker count is CPU-bound and may be 1 in CI."""
+    if STORAGE == "memory":
+        storage = None
+    else:
+        storage = LocalDiskFileSystem(root=os.path.join(tmp, "dfs"))
+    return MapReduceRuntime(
+        num_map_tasks=2,
+        num_reduce_tasks=2,
+        max_workers=6,
+        counters=Counters(),
+        backend=backend,
+        storage=storage,
+        spill_threshold=SPILL_THRESHOLD,
+        spill_dir=os.path.join(tmp, "spills"),
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("backend", ("threads", "processes"))
+def test_speculative_backup_beats_straggler(backend, tmp_path):
+    baseline = _straggler_runtime("serial", str(tmp_path / "clean")).run(
+        Histogram(), RECORDS
+    )
+    # Every attempt straggles 0.6s — but only on its *first* execution
+    # (machine-scoped sentinel), so the timeout-spawned backup runs at
+    # full speed and wins the race.
+    with FaultPlan(5, delay_rate=1.0, delay_seconds=0.6) as plan:
+        runtime = _straggler_runtime(
+            backend,
+            str(tmp_path / "chaos"),
+            retry_policy=RetryPolicy(max_attempts=2, task_timeout=0.05),
+            fault_plan=plan,
+        )
+        output = runtime.run(Histogram(), RECORDS)
+        faults = dict(runtime.counters.group("faults"))
+    assert output == baseline
+    assert faults["task.speculative_wins"] >= 1
+    assert faults["injected_delay"] > 0
+
+
+# -- shared pools: close() and size-change eviction ------------------------
+
+
+def test_executor_close_evicts_its_shared_pool():
+    executor = ThreadExecutor(max_workers=2)
+    assert executor.run_tasks(_identity, [(1,)]) == [1]
+    assert ("threads", 2) in _SHARED_POOLS
+    executor.close()
+    assert ("threads", 2) not in _SHARED_POOLS
+    # close() is idempotent, and the pool lazily rebuilds on reuse.
+    executor.close()
+    assert executor.run_tasks(_identity, [(2,)]) == [2]
+    executor.close()
+
+
+def test_changing_worker_count_evicts_the_stale_pool():
+    small = ThreadExecutor(max_workers=2)
+    assert small.run_tasks(_identity, [(1,)]) == [1]
+    assert ("threads", 2) in _SHARED_POOLS
+    large = ThreadExecutor(max_workers=3)
+    assert large.run_tasks(_identity, [(2,)]) == [2]
+    # One pool per kind: asking for a different size evicted the old
+    # one instead of accumulating idle worker fleets.
+    assert ("threads", 2) not in _SHARED_POOLS
+    assert ("threads", 3) in _SHARED_POOLS
+    # The evicted executor still works — its pool rebuilds on demand.
+    assert small.run_tasks(_identity, [(3,)]) == [3]
+    small.close()
+    large.close()

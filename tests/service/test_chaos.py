@@ -1,0 +1,255 @@
+"""Serving-layer chaos: transactional flushes, dead letters, rejection.
+
+The serving layer's recovery contract mirrors the runtime's: a flush
+that faults mid-reconvergence rolls both resident stores and the
+driver-side matching back to the pre-flush state, the whole batch
+re-admits on the retry, and the converged matching is bit-identical
+to the fault-free run.  Events that keep failing *transiently* drain
+to the dead-letter queue instead of wedging their batch forever, and
+deterministically invalid events are rejected without ever touching
+the resident graph store — even when submitted concurrently through
+the asyncio facade.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.mapreduce import (
+    Counters,
+    FaultPlan,
+    InjectedFault,
+    MapReduceRuntime,
+    RetryPolicy,
+)
+from repro.service import (
+    Arrival,
+    EdgeArrival,
+    MatchingService,
+    OnlineMatcher,
+    synthetic_events,
+)
+
+from .test_matcher import _seeded_graph
+
+#: ``FaultPlan(4, poison_rate=0.5)`` poisons admission sequence
+#: numbers 1 and 3 (and no others) in the first eight — a pinned,
+#: seed-derived pattern the dead-letter tests rely on.
+POISON_SEED = 4
+
+
+def _faulted_runtime(retry_policy=None, fault_plan=None):
+    return MapReduceRuntime(
+        num_map_tasks=4,
+        num_reduce_tasks=4,
+        counters=Counters(),
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
+    )
+
+
+def _reference_matching(graph, batches):
+    with OnlineMatcher(graph=graph) as matcher:
+        for batch in batches:
+            matcher.flush(list(batch))
+        return matcher.matching_edges()
+
+
+def _batches(events, size=8):
+    return [events[i : i + size] for i in range(0, len(events), size)]
+
+
+# -- transactional flush: fault, roll back, retry, converge ----------------
+
+
+def test_flush_fault_retries_and_matches_fault_free():
+    graph = _seeded_graph(3)
+    events, _ = synthetic_events(graph, 16, seed=3)
+    batches = _batches(events)
+    reference = _reference_matching(_seeded_graph(3), batches)
+    # flush_rate=1.0: attempt 0 of *every* flush faults mid-
+    # reconvergence; max_faults_per_site=1 leaves attempt 1 clean, so
+    # a 2-attempt budget always recovers.
+    plan = FaultPlan(1, flush_rate=1.0)
+    matcher = OnlineMatcher(
+        runtime=_faulted_runtime(
+            retry_policy=RetryPolicy(max_attempts=2), fault_plan=plan
+        ),
+        graph=graph,
+    )
+    with matcher:
+        reports = [matcher.flush(list(batch)) for batch in batches]
+        ok, value = matcher.verify()
+        assert ok, value
+        assert matcher.matching_edges() == reference
+    faults = matcher.runtime.counters.group("faults")
+    assert faults["injected_flush"] == len(batches)
+    assert faults["flush.retries"] == len(batches)
+    assert faults["injected_total"] >= len(batches)
+    # The committed reports describe the successful attempts.
+    assert sum(r.admitted + len(r.rejected) for r in reports) == len(
+        events
+    )
+
+
+def test_exhausted_flush_budget_rolls_back_and_raises():
+    graph = _seeded_graph(5)
+    events, _ = synthetic_events(graph, 8, seed=5)
+    # No retry policy: a single attempt, so the injected fault
+    # propagates — but the matcher must stay at the pre-flush state.
+    matcher = OnlineMatcher(
+        runtime=_faulted_runtime(fault_plan=FaultPlan(1, flush_rate=1.0)),
+        graph=graph,
+    )
+    with matcher:
+        before = (
+            matcher.matching_edges(),
+            matcher.num_nodes,
+            matcher.num_edges,
+            matcher.snapshot(),
+        )
+        with pytest.raises(InjectedFault):
+            matcher.flush(list(events))
+        assert (
+            matcher.matching_edges(),
+            matcher.num_nodes,
+            matcher.num_edges,
+            matcher.snapshot(),
+        ) == before
+        ok, value = matcher.verify()
+        assert ok, value
+        # The batch was not consumed: disarm the plan and re-flush —
+        # recovery-by-operator, same events, converges normally.
+        matcher._fault_plan = None
+        report = matcher.flush(list(events))
+        assert report.admitted + len(report.rejected) == len(events)
+        assert matcher.matching_edges() == _reference_matching(
+            _seeded_graph(5), [events]
+        )
+
+
+# -- dead letters: poisoned events drain instead of wedging ----------------
+
+
+def test_poisoned_events_dead_letter_after_their_budget():
+    graph = _seeded_graph(7)
+    events, _ = synthetic_events(graph, 4, seed=7)
+    plan = FaultPlan(POISON_SEED, poison_rate=0.5)
+    assert [plan.event_poisoned(seq) for seq in range(4)] == [
+        False,
+        True,
+        False,
+        True,
+    ]
+    matcher = OnlineMatcher(
+        runtime=_faulted_runtime(
+            retry_policy=RetryPolicy(max_attempts=2), fault_plan=plan
+        ),
+        graph=graph,
+    )
+    with matcher:
+        # Batch [seq 0, seq 1]: seq 1 poisons attempt 1, rolls the
+        # flush back, exhausts its per-event budget on the retry, and
+        # dead-letters; its batchmate lands normally.
+        first = matcher.flush(list(events[:2]))
+        assert first.dead_lettered == 1
+        second = matcher.flush(list(events[2:4]))
+        assert second.dead_lettered == 1
+        ok, value = matcher.verify()
+        assert ok, value
+        assert [event for event, _ in matcher.dead_letters] == [
+            events[1],
+            events[3],
+        ]
+        for _, reason in matcher.dead_letters:
+            assert "admission failed transiently" in reason
+    faults = matcher.runtime.counters.group("faults")
+    assert faults["events.dead_lettered"] == 2
+    # Each poisoned event fired twice (original + its retry).
+    assert faults["injected_poison"] == 4
+    # The dead-lettered events never made it into the graph store:
+    # the matching equals the fault-free run over the survivors.
+    assert matcher.matching_edges() == _reference_matching(
+        _seeded_graph(7), [[events[0]], [events[2]]]
+    )
+
+
+def test_service_metrics_surface_recovery_activity():
+    graph = _seeded_graph(7)
+    events, _ = synthetic_events(graph, 4, seed=7)
+    plan = FaultPlan(POISON_SEED, flush_rate=1.0, poison_rate=0.5)
+    matcher = OnlineMatcher(
+        runtime=_faulted_runtime(
+            retry_policy=RetryPolicy(max_attempts=2), fault_plan=plan
+        ),
+        graph=graph,
+    )
+    service = MatchingService(matcher, max_batch=2, max_delay=5.0)
+
+    async def drive():
+        async with service:
+            await asyncio.gather(
+                *(service.submit_event(event) for event in events)
+            )
+            return service.metrics()
+
+    metrics = asyncio.run(drive())
+    assert metrics["dead_letter_events"] == 2
+    assert metrics["flush_retries"] >= 2
+    assert metrics["batches_flushed"] == 2
+
+
+# -- rejection under concurrency: no partial state, read-your-writes -------
+
+
+def test_rejected_event_never_touches_the_store_concurrently():
+    graph = _seeded_graph(0)
+    nodes = sorted(graph.nodes())
+    matcher = OnlineMatcher(graph=graph)
+    service = MatchingService(matcher, max_batch=4, max_delay=5.0)
+    valid = [
+        Arrival(node="fresh-0", capacity=2,
+                edges=((nodes[0], 3.0),)),
+        EdgeArrival(u=nodes[1], v=nodes[2], weight=7.0),
+    ]
+    invalid = [
+        EdgeArrival(u="ghost", v=nodes[0], weight=1.0),
+        Arrival(node=nodes[0], capacity=1, edges=()),  # already exists
+    ]
+
+    async def drive():
+        async with service:
+            # All four submissions race into the same micro-batch.
+            reports = await asyncio.gather(
+                service.submit_event(valid[0]),
+                service.submit_event(invalid[0]),
+                service.submit_event(valid[1]),
+                service.submit_event(invalid[1]),
+            )
+            # Read-your-writes mid-stream: the drain-first lookup sees
+            # the admitted arrival even though more events follow.
+            partners = await service.match_lookup("fresh-0")
+            await service.submit_event(
+                EdgeArrival(u="fresh-0", v=nodes[3], weight=9.0)
+            )
+            snap = await service.snapshot()
+            verdict = matcher.verify()
+            return reports, partners, snap, verdict
+
+    reports, partners, snap, verdict = asyncio.run(drive())
+    # Batchmates share one report; rejections ride in it, and one bad
+    # event never fails its batchmates.
+    report = reports[0]
+    assert all(r is report for r in reports)
+    assert report.admitted == 2
+    rejected = {repr(event): reason for event, reason in report.rejected}
+    assert len(rejected) == 2
+    assert any("unknown node 'ghost'" in r for r in rejected.values())
+    assert any("existing node" in r for r in rejected.values())
+    # The rejected events left no trace in the resident graph store.
+    assert matcher.graph_store.get("ghost") is None
+    assert not matcher.graph_store.contains("ghost")
+    assert partners is not None  # lookup resolved post-drain
+    assert snap["nodes"] == len(nodes) + 1
+    ok, value = verdict
+    assert ok, value

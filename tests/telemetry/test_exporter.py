@@ -63,8 +63,12 @@ def test_exporter_serves_metrics_and_json():
         assert exporter.port != 0  # ephemeral port resolved
         status, text = _get(f"{exporter.url}/metrics")
         assert status == 200
-        # The scrape is the same render the in-process API would give.
-        assert text == render_prometheus(registry.snapshot(), extra())
+        # The scrape is the same render the in-process API would give,
+        # plus the exporter's own health counter.
+        assert text == render_prometheus(registry.snapshot(), extra()) + (
+            "# TYPE repro_exporter_scrape_errors counter\n"
+            "repro_exporter_scrape_errors 0\n"
+        )
         status, payload = _get(f"{exporter.url}/metrics.json")
         snapshot = json.loads(payload)
         assert (
@@ -104,3 +108,35 @@ def test_exporter_unknown_path_is_404_and_double_start_raises():
     finally:
         exporter.stop()
     exporter.stop()  # idempotent
+
+
+def test_scrape_errors_count_and_degrade_health():
+    state = {"fail": True}
+
+    def extra():
+        if state["fail"]:
+            raise RuntimeError("backing store unavailable")
+        return {"latency_p99_ms": 1.0}
+
+    with MetricsExporter(registry=_registry(), extra_metrics=extra) as exporter:
+        # A failing extra_metrics callable answers 500 — the serving
+        # thread survives and the failure is counted, not swallowed.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{exporter.url}/metrics")
+        assert excinfo.value.code == 500
+        assert exporter.scrape_errors == 1
+        assert exporter.scrape_count == 0
+        # /healthz reports degradation with the last failure inline.
+        _, body = _get(f"{exporter.url}/healthz")
+        assert body == "degraded: RuntimeError: backing store unavailable\n"
+        # Once scrapes succeed again, health recovers and the error
+        # counter rides along in the exposition itself.
+        state["fail"] = False
+        _, text = _get(f"{exporter.url}/metrics")
+        assert "repro_exporter_scrape_errors 1" in text
+        _, body = _get(f"{exporter.url}/healthz")
+        assert body == "ok\n"
+        _, payload = _get(f"{exporter.url}/metrics.json")
+        health = json.loads(payload)["exporter"]
+        # The JSON view renders before its own scrape is counted.
+        assert health == {"scrape_count": 1, "scrape_errors": 1}

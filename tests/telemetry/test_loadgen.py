@@ -167,3 +167,36 @@ def test_run_load_paced_smoke():
     assert report.offered_rate == 200.0
     # Pacing puts at least the inter-arrival gaps on the clock.
     assert report.wall_seconds >= 2 / 200.0
+
+
+def test_run_load_wedged_drain_fails_with_diagnostic():
+    """A service that stops resolving submissions must fail the run
+    with a diagnostic instead of hanging the harness forever."""
+
+    class WedgedService:
+        """Accepts submissions that never resolve; drain is a no-op."""
+
+        def __init__(self):
+            self.matcher = OnlineMatcher()
+
+        async def submit_event(self, event):
+            await asyncio.Event().wait()  # pragma: no cover - cancelled
+
+        async def drain(self):
+            return None
+
+    service = WedgedService()
+    events = [
+        Arrival(f"stuck-{index}", capacity=1, edges=())
+        for index in range(3)
+    ]
+
+    async def drive():
+        try:
+            await run_load(service, events, drain_timeout=0.05)
+        finally:
+            service.matcher.close()
+
+    with pytest.raises(RuntimeError, match="load run wedged") as excinfo:
+        asyncio.run(drive())
+    assert "3 of 3 submissions" in str(excinfo.value)
