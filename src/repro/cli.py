@@ -185,6 +185,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         tracer = _make_tracer(args)
         runtime = MapReduceRuntime(
             backend=args.backend,
+            max_workers=args.workers,
             storage=args.fs,
             spill_threshold=args.spill_threshold,
             tracer=tracer,
@@ -254,6 +255,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         tracer = _make_tracer(args)
         runtime = MapReduceRuntime(
             backend=args.backend,
+            max_workers=args.workers,
             storage=args.fs,
             spill_threshold=args.spill_threshold,
             tracer=tracer,
@@ -318,6 +320,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     runtime = MapReduceRuntime(
         backend=args.backend,
+        max_workers=args.workers,
         storage=args.fs,
         spill_threshold=args.spill_threshold,
         tracer=tracer,
@@ -439,6 +442,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     def make_runtime(**kwargs) -> MapReduceRuntime:
         return MapReduceRuntime(
             backend=args.backend,
+            max_workers=args.workers,
             storage=args.fs,
             spill_threshold=args.spill_threshold,
             **kwargs,
@@ -476,6 +480,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             delay_rate=args.delay_rate,
             delay_seconds=0.0,
             io_rate=args.io_rate,
+            worker_kill_rate=args.worker_kill_rate,
+            frame_drop_rate=args.frame_drop_rate,
         ) as plan:
             runtime = make_runtime(retry_policy=policy, fault_plan=plan)
             data = exercise_storage(runtime)
@@ -503,8 +509,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"runtime seed {seed}: {status} — injected {injected} "
             f"(crashes {faults.get('injected_crash', 0)}, "
             f"delays {faults.get('injected_delay', 0)}, "
-            f"io {faults.get('injected_io', 0)}), "
+            f"io {faults.get('injected_io', 0)}, "
+            f"kills {faults.get('injected_worker_kill', 0)}, "
+            f"drops {faults.get('injected_drop_frame', 0)}), "
             f"task retries {faults.get('task.retries', 0)}, "
+            f"resubmits {faults.get('task.resubmits', 0)}, "
+            f"respawns {faults.get('pool.respawns', 0)}, "
             f"storage retries {faults.get('storage.retries', 0)}"
         )
 
@@ -591,6 +601,15 @@ def _add_cluster_options(
         choices=EXECUTOR_BACKENDS,
         help="execution backend for the simulated cluster "
         f"({applies_to})",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the parallel backends: pool size for "
+        "threads/processes, daemon-fleet size for cluster (default: "
+        f"backend-specific, bounded by CPU count; {applies_to})",
     )
     parser.add_argument(
         "--fs",
@@ -804,6 +823,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--io-rate", type=float, default=0.2)
     chaos.add_argument("--flush-rate", type=float, default=0.5)
     chaos.add_argument("--poison-rate", type=float, default=0.1)
+    chaos.add_argument(
+        "--worker-kill-rate",
+        type=float,
+        default=0.0,
+        help="cluster-backend fault kind: probability a task's first "
+        "attempt hard-kills its worker daemon mid-execution "
+        "(degrades to a plain injected crash on other backends)",
+    )
+    chaos.add_argument(
+        "--frame-drop-rate",
+        type=float,
+        default=0.0,
+        help="cluster-backend fault kind: probability a task's reply "
+        "frame is dropped on the wire after the work completed "
+        "(degrades to a plain injected crash on other backends)",
+    )
     _add_cluster_options(chaos, "all chaos runs")
     chaos.set_defaults(func=_cmd_chaos)
 

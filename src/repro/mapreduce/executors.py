@@ -11,6 +11,13 @@ backends are provided:
 * :class:`ProcessExecutor` — run tasks on a shared process pool
   (true CPU parallelism; tasks, jobs, and records must be picklable).
 
+A fourth backend, ``"cluster"``, lives in :mod:`repro.mapreduce.
+cluster`: worker daemon processes served over localhost TCP sockets
+with worker-local result storage, heartbeats, death detection with
+task re-execution, and speculative backups.  It registers here through
+the same shared-pool machinery (kind ``"cluster"``) and resolves
+lazily, so importing this module never pays for the cluster plane.
+
 The contract every backend obeys — and the reason results are
 bit-identical across backends — is:
 
@@ -76,7 +83,7 @@ TaskFunction = Callable[..., Any]
 
 #: Canonical backend names accepted by :func:`resolve_executor` (and
 #: therefore by ``MapReduceRuntime(backend=...)`` and the CLI).
-EXECUTOR_BACKENDS = ("serial", "threads", "processes")
+EXECUTOR_BACKENDS = ("serial", "threads", "processes", "cluster")
 
 
 class Executor:
@@ -164,6 +171,12 @@ def _shared_pool(kind: str, max_workers: int) -> Any:
                     max_workers=max_workers,
                     thread_name_prefix="repro-mr",
                 )
+            elif kind == "cluster":
+                # Lazy import: the cluster plane is only paid for when
+                # the cluster backend is actually used.
+                from .cluster.driver import ClusterDriver
+
+                pool = ClusterDriver(num_workers=max_workers)
             else:
                 # The platform-default start method: fork on older
                 # Linux Pythons, forkserver/spawn elsewhere (safer in a
@@ -417,6 +430,8 @@ _BACKEND_ALIASES = {
     "process": "processes",
     "multiprocessing": "processes",
     "mp": "processes",
+    "cluster": "cluster",
+    "distributed": "cluster",
 }
 
 _BACKEND_CLASSES = {
@@ -441,6 +456,11 @@ def resolve_executor(
         return backend
     if isinstance(backend, str):
         canonical = _BACKEND_ALIASES.get(backend.strip().lower())
+        if canonical == "cluster":
+            # Lazy: only cluster users pay the cluster plane's import.
+            from .cluster.executor import ClusterExecutor
+
+            return ClusterExecutor(max_workers=max_workers)
         if canonical is not None:
             cls = _BACKEND_CLASSES[canonical]
             if cls is SerialExecutor:

@@ -185,12 +185,15 @@ class RetryPolicy:
 class TaskFaultSpec:
     """One scheduled fault for one task attempt (picklable).
 
-    ``kind`` is ``"crash"`` (raise :class:`InjectedTaskFault`) or
-    ``"delay"`` (sleep ``seconds``).  ``once_path``, when set, makes a
-    delay *machine-scoped* rather than attempt-scoped: the first
-    execution to claim the sentinel file sleeps, any concurrent or
-    later re-execution of the same attempt runs at full speed — the
-    straggler shape speculative backups exist to beat.
+    ``kind`` is ``"crash"`` (raise :class:`InjectedTaskFault`),
+    ``"delay"`` (sleep ``seconds``), ``"worker_kill"`` (hard-kill the
+    hosting cluster worker), or ``"drop_frame"`` (run the task but
+    drop its result frame).  ``once_path``, when set, makes the fault
+    *machine-scoped* rather than attempt-scoped: the first execution
+    to claim the sentinel file fires it, any concurrent or later
+    re-execution of the same attempt runs clean — for delays, the
+    straggler shape speculative backups exist to beat; for the cluster
+    kinds, the guarantee that driver-side re-execution converges.
     """
 
     kind: str
@@ -240,6 +243,20 @@ class FaultPlan:
         how long.  Delays are machine-scoped via a sentinel file (see
         :class:`TaskFaultSpec.once_path`), so a speculative backup of
         a delayed task runs at full speed.
+    worker_kill_rate:
+        Probability a task's first execution hard-kills its hosting
+        cluster worker (``os._exit`` mid-task — the worker-death
+        shape).  Recovery is *driver-side*: the cluster driver detects
+        the death, respawns the worker, and re-executes the task;
+        the fault is sentinel-scoped so the re-execution runs clean.
+        On single-process backends (no worker to kill) it degrades to
+        an in-worker task-attempt crash.
+    frame_drop_rate:
+        Probability a task's first execution completes but its result
+        frame is dropped on the wire (the worker closes the connection
+        instead of replying) — the lost-message shape.  Driver-side
+        recovery re-executes; sentinel-scoped like ``worker_kill``.
+        Degrades to a task-attempt crash off-cluster.
     io_rate:
         Probability a ``read``/``write`` through a
         :class:`FaultyFileSystem` raises a transient
@@ -266,6 +283,8 @@ class FaultPlan:
         crash_rate: float = 0.0,
         delay_rate: float = 0.0,
         delay_seconds: float = 0.05,
+        worker_kill_rate: float = 0.0,
+        frame_drop_rate: float = 0.0,
         io_rate: float = 0.0,
         flush_rate: float = 0.0,
         poison_rate: float = 0.0,
@@ -275,6 +294,8 @@ class FaultPlan:
         for name, rate in (
             ("crash_rate", crash_rate),
             ("delay_rate", delay_rate),
+            ("worker_kill_rate", worker_kill_rate),
+            ("frame_drop_rate", frame_drop_rate),
             ("io_rate", io_rate),
             ("flush_rate", flush_rate),
             ("poison_rate", poison_rate),
@@ -296,6 +317,8 @@ class FaultPlan:
         self.crash_rate = crash_rate
         self.delay_rate = delay_rate
         self.delay_seconds = delay_seconds
+        self.worker_kill_rate = worker_kill_rate
+        self.frame_drop_rate = frame_drop_rate
         self.io_rate = io_rate
         self.flush_rate = flush_rate
         self.poison_rate = poison_rate
@@ -315,7 +338,12 @@ class FaultPlan:
 
     @property
     def has_task_faults(self) -> bool:
-        return self.crash_rate > 0 or self.delay_rate > 0
+        return (
+            self.crash_rate > 0
+            or self.delay_rate > 0
+            or self.worker_kill_rate > 0
+            or self.frame_drop_rate > 0
+        )
 
     def task_faults(
         self,
@@ -330,7 +358,30 @@ class FaultPlan:
         most ``max_faults_per_site`` times, so a task that keeps being
         retried always reaches a crash-free attempt.  Delays may fire
         on any attempt (they slow, never fail).
+
+        Cluster faults (``worker_kill`` / ``drop_frame``) are
+        scheduled at most once per task, on the first execution only,
+        and are mutually exclusive with the in-worker kinds: their
+        recovery is a driver-side *re-execution* (the same attempt-0
+        spec tuple runs again), so the spec is sentinel-scoped and the
+        remaining attempts stay clean — and :func:`fired_specs` still
+        meters exactly what fires.
         """
+        if self.worker_kill_rate > 0 or self.frame_drop_rate > 0:
+            site = (job, phase, task_index, 0)
+            spec: Optional[TaskFaultSpec] = None
+            if self._roll("worker_kill", *site) < self.worker_kill_rate:
+                spec = TaskFaultSpec(
+                    kind="worker_kill",
+                    once_path=self._sentinel_path("worker_kill", *site),
+                )
+            elif self._roll("drop_frame", *site) < self.frame_drop_rate:
+                spec = TaskFaultSpec(
+                    kind="drop_frame",
+                    once_path=self._sentinel_path("drop_frame", *site),
+                )
+            if spec is not None:
+                return (spec,) + (None,) * (max_attempts - 1)
         crash_budget = min(self.max_faults_per_site, max_attempts - 1)
         specs: List[Optional[TaskFaultSpec]] = []
         for attempt in range(max_attempts):
@@ -422,23 +473,53 @@ class FaultPlan:
 # picklable) and travel with the task arguments.
 
 
+def _claim_once(path: str) -> bool:
+    """Claim a fault sentinel; ``False`` if already claimed elsewhere."""
+    try:
+        handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(handle)
+    except FileExistsError:
+        return False  # another execution already fired this fault
+    except OSError:
+        pass  # scratch dir gone: fire anyway
+    return True
+
+
 def _fire(spec: TaskFaultSpec) -> None:
     """Make one scheduled fault happen, inside the worker."""
     if spec.kind == "crash":
         raise InjectedTaskFault("injected task-attempt crash")
     if spec.kind == "delay":
-        if spec.once_path is not None:
-            try:
-                handle = os.open(
-                    spec.once_path,
-                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
-                )
-                os.close(handle)
-            except FileExistsError:
-                return  # another execution already straggled here
-            except OSError:
-                pass  # scratch dir gone: straggle anyway
+        if spec.once_path is not None and not _claim_once(spec.once_path):
+            return
         time.sleep(spec.seconds)
+        return
+    if spec.kind in ("worker_kill", "drop_frame"):
+        if spec.once_path is not None and not _claim_once(spec.once_path):
+            return  # a previous execution already paid this fault
+        # Lazy import: only chaos runs that schedule cluster kinds pay
+        # for the cluster plane, and only to ask "am I in a worker?".
+        try:
+            from .cluster import worker as cluster_worker
+        except Exception:  # pragma: no cover - defensive
+            cluster_worker = None
+        on_cluster = (
+            cluster_worker is not None and cluster_worker.in_worker()
+        )
+        if spec.kind == "worker_kill":
+            if on_cluster:
+                os._exit(17)  # hard worker death, mid-task
+            raise InjectedTaskFault(
+                "injected worker kill (no cluster worker to kill: "
+                "degraded to a task-attempt crash)"
+            )
+        if on_cluster:
+            cluster_worker.request_drop_reply()
+            return  # the task runs; its result frame is dropped
+        raise InjectedTaskFault(
+            "injected frame drop (no frame to drop: degraded to a "
+            "task-attempt crash)"
+        )
 
 
 def resilient_task_call(

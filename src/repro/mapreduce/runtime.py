@@ -20,7 +20,9 @@ Execution model
 The runtime is faithful to MapReduce's *execution* model as well as its
 programming model: every phase is decomposed into independent task
 units and dispatched through an :class:`~repro.mapreduce.executors.
-Executor` (``backend="serial" | "threads" | "processes"``).
+Executor` (``backend="serial" | "threads" | "processes" |
+"cluster"`` — the last a real localhost worker fleet over TCP, see
+:mod:`repro.mapreduce.cluster`).
 
 * A **map task** is one unit of work: it applies ``job.map`` to every
   record of its split, optionally re-executes itself speculatively and
@@ -207,7 +209,8 @@ class MapReduceRuntime:
         a real cluster.  Costs 2x map work; intended for tests.
     backend:
         Execution backend for map and reduce tasks: ``"serial"``
-        (default), ``"threads"``, ``"processes"``, or any
+        (default), ``"threads"``, ``"processes"``, ``"cluster"``
+        (worker daemon processes over localhost TCP sockets), or any
         :class:`~repro.mapreduce.executors.Executor` instance.  Results
         and counters are bit-identical across backends.
     max_workers:
@@ -444,11 +447,26 @@ class MapReduceRuntime:
             self.counters.increment(
                 FAULT_COUNTER_GROUP, "task.resubmits", resubmitted
             )
+        # Executors with fleet-level health (the cluster backend's
+        # per-worker task counts, respawns, queue depth) export it as
+        # volatile gauges after each dispatch; the duck-typed hook
+        # keeps the runtime backend-agnostic.
+        publish = getattr(executor, "publish_metrics", None)
+        if publish is not None:
+            publish(self.metrics)
         if tracer is None:
             return raw
+        # Worker attribution (which fleet slot produced each accepted
+        # result) rides on the task spans when the backend reports it.
+        workers = getattr(executor, "last_task_workers", None) or ()
         results: List[Any] = []
         for index, (seconds, result) in enumerate(raw):
-            tracer.record(f"{label}-{index}", kind="task", seconds=seconds)
+            attrs: Dict[str, Any] = {}
+            if index < len(workers) and workers[index] is not None:
+                attrs["worker"] = workers[index]
+            tracer.record(
+                f"{label}-{index}", kind="task", seconds=seconds, **attrs
+            )
             results.append(result)
         return results
 

@@ -90,8 +90,10 @@ def strip_volatile_counters(snapshot: dict) -> dict:
     :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot (the
     ``counters`` / ``gauges`` / ``histograms`` shape).  For the
     latter, the counter section is stripped as before, the gauge
-    section is dropped wholesale (gauges are wall-clock meters, always
-    volatile), and histograms flagged ``volatile`` (per-job timing
+    section is dropped wholesale (gauges are wall-clock meters —
+    and, on the cluster backend, scheduling meters like per-worker
+    task tallies and respawn counts, which depend on dispatch timing
+    — always volatile), and histograms flagged ``volatile`` (per-job timing
     distributions) are dropped while the deterministic record-count
     histograms are kept — so the bit-identical property tests keep
     passing with timing metrics enabled, and the contract extends to

@@ -169,13 +169,18 @@ class _Handler(BaseHTTPRequestHandler):
             exporter._record_scrape_error(exc)
             self.send_error(500, "scrape failed")
             return
+        # Count (and clear degradation) *before* the body goes on the
+        # wire: the scrape succeeded once the body rendered, and a
+        # client that saw this response must not race a stale
+        # "degraded" out of /healthz while this thread is still
+        # between write and bookkeeping.
+        if path in ("/metrics", "/metrics.json"):
+            exporter._count_scrape()
         self.send_response(200)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
-        if path in ("/metrics", "/metrics.json"):
-            exporter._count_scrape()
 
     def log_message(self, format: str, *args: Any) -> None:
         pass  # scrapes are not worth a stderr line each

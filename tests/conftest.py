@@ -9,6 +9,7 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.mapreduce import Counters, LocalDiskFileSystem, MapReduceRuntime
+from repro.mapreduce.executors import EXECUTOR_BACKENDS
 from repro.mapreduce.storage import canonical_backend
 
 # One moderate default profile: property tests are plentiful, so each
@@ -46,9 +47,37 @@ _SPILL = os.environ.get("REPRO_TEST_SPILL_THRESHOLD", "").strip()
 SPILL_THRESHOLD = int(_SPILL) if _SPILL else None
 
 
+def pytest_collection_modifyitems(config, items):
+    """Tag every test that runs on the cluster backend.
+
+    Any test parametrized (directly or via a fixture) with the value
+    ``"cluster"`` gets the ``cluster`` marker, so the multi-process
+    backend can be selected (``-m cluster``) or skipped
+    (``-m "not cluster"``) without per-test bookkeeping.  Tests in the
+    dedicated cluster module mark themselves via ``pytestmark``.
+    """
+    for item in items:
+        callspec = getattr(item, "callspec", None)
+        if callspec and "cluster" in callspec.params.values():
+            item.add_marker(pytest.mark.cluster)
+
+
 @pytest.fixture(params=BACKENDS)
 def backend(request) -> str:
     """Each configured execution backend in turn."""
+    return request.param
+
+
+@pytest.fixture(params=EXECUTOR_BACKENDS)
+def all_backends(request) -> str:
+    """Every *registered* backend, ignoring the env narrowing.
+
+    ``backend`` follows REPRO_TEST_BACKENDS so CI matrix jobs can run
+    one cell at a time; this fixture always cycles the full registry
+    (serial, threads, processes, cluster) — for the registry-driven
+    smoke tests that must prove each backend at least boots and agrees,
+    no matter how the matrix is narrowed.
+    """
     return request.param
 
 

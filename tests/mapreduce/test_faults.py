@@ -356,6 +356,116 @@ def test_runtime_job_survives_worker_death(tmp_path):
     assert faults["task.resubmits"] >= 1
 
 
+# -- cluster chaos: kills and dropped frames recover bit-identically -------
+
+
+CLUSTER_CHAOS_SEEDS = (1, 2, 3)
+
+#: High enough that every seed schedules several faults across the
+#: 8 task sites of the chaos workload (asserted per scenario below).
+CLUSTER_KILL_RATES = dict(worker_kill_rate=0.6)
+CLUSTER_DROP_RATES = dict(frame_drop_rate=0.6)
+
+
+def _observe_cluster_chaos(seed, **rates):
+    """One seeded chaos run on the cluster backend, plus its faults."""
+    with FaultPlan(seed, **rates) as plan:
+        with _cell_runtime(
+            "cluster",
+            retry_policy=RetryPolicy(max_attempts=3),
+            fault_plan=plan,
+        ) as runtime:
+            observed = _observe_chaos(runtime)
+            faults = dict(runtime.counters.group("faults"))
+    return observed, faults
+
+
+@pytest.mark.cluster
+@pytest.mark.parametrize("seed", CLUSTER_CHAOS_SEEDS)
+def test_cluster_worker_kills_recover_bit_identically(seed):
+    """Injected ``os._exit`` worker deaths mid-task: the driver
+    respawns the daemon, re-executes the lost attempts, and the run
+    converges bit-identically to the fault-free cluster run."""
+    with _cell_runtime("cluster") as clean:
+        baseline = _observe_chaos(clean)
+    observed, faults = _observe_cluster_chaos(
+        seed, **CLUSTER_KILL_RATES
+    )
+    assert observed == baseline
+    assert faults["injected_worker_kill"] > 0
+    assert faults["pool.respawns"] >= 1
+    assert faults["task.resubmits"] >= 1
+
+
+@pytest.mark.cluster
+@pytest.mark.parametrize("seed", CLUSTER_CHAOS_SEEDS)
+def test_cluster_dropped_frames_recover_bit_identically(seed):
+    """Injected reply-frame drops: the worker does the work, the
+    driver never hears back, and the resubmit-only recovery path (no
+    respawn — the daemon is healthy) still converges bit-identically."""
+    with _cell_runtime("cluster") as clean:
+        baseline = _observe_chaos(clean)
+    observed, faults = _observe_cluster_chaos(
+        seed, **CLUSTER_DROP_RATES
+    )
+    assert observed == baseline
+    assert faults["injected_drop_frame"] > 0
+    assert faults["task.resubmits"] >= 1
+    # A dropped frame is not a dead worker: no respawns burned.
+    assert faults.get("pool.respawns", 0) == 0
+
+
+@pytest.mark.cluster
+def test_cluster_faults_degrade_gracefully_off_cluster():
+    """The cluster fault kinds on a single-process backend degrade to
+    plain injected crashes (there is no worker daemon to kill), so a
+    retry budget still recovers them bit-identically."""
+    with _cell_runtime("serial") as clean:
+        baseline = _observe_chaos(clean)
+    with FaultPlan(2, worker_kill_rate=0.6, frame_drop_rate=0.3) as plan:
+        with _cell_runtime(
+            "serial",
+            retry_policy=RetryPolicy(max_attempts=3),
+            fault_plan=plan,
+        ) as runtime:
+            observed = _observe_chaos(runtime)
+            faults = dict(runtime.counters.group("faults"))
+    assert observed == baseline
+    assert faults["injected_total"] > 0
+    assert faults.get("task.retries", 0) >= 1
+
+
+@pytest.mark.cluster
+def test_chaos_cli_replays_cluster_scenario(capsys):
+    """The ``repro chaos --backend cluster`` replay case: seeded
+    worker kills and frame drops through the real CLI entry point."""
+    from repro.cli import main
+
+    code = main(
+        [
+            "chaos",
+            "--backend",
+            "cluster",
+            "--workers",
+            "2",
+            "--seeds",
+            "1",
+            "--nodes",
+            "8",
+            "--events",
+            "12",
+            "--worker-kill-rate",
+            "0.3",
+            "--frame-drop-rate",
+            "0.3",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "bit-identical" in out
+    assert "DIVERGED" not in out
+
+
 # -- stragglers: speculative backups win -----------------------------------
 
 
